@@ -1,0 +1,45 @@
+// Command dsfbench regenerates the paper's evaluation: one table per claim
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+// results).
+//
+// Usage:
+//
+//	dsfbench [-table all|t1|t1b|t2|t3|t4|t5|t6|f1|a1] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"steinerforest/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "experiment to run (all, t1, t1b, t2, t3, t4, t5, t6, f1, a1)")
+	quick := flag.Bool("quick", false, "shrink instance sizes for a fast smoke run")
+	flag.Parse()
+
+	sc := bench.Scale(1)
+	if *quick {
+		sc = bench.Scale(3)
+	}
+	runners := map[string]func(bench.Scale) *bench.Table{
+		"t1": bench.T1, "t1b": bench.T1b, "t2": bench.T2, "t3": bench.T3,
+		"t4": bench.T4, "t5": bench.T5, "t6": bench.T6, "f1": bench.F1, "a1": bench.A1,
+	}
+	var tables []*bench.Table
+	switch key := strings.ToLower(*table); key {
+	case "all":
+		tables = bench.All(sc)
+	default:
+		run, ok := runners[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dsfbench: unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		tables = []*bench.Table{run(sc)}
+	}
+	fmt.Print(bench.RenderAll(tables))
+}

@@ -1,0 +1,58 @@
+// Railroad: the classical Steiner-tree framing (the problem was famously
+// posed for railroad design) — connect a set of cities on a terrain graph
+// with minimum total track. A single input component makes the Steiner
+// Forest algorithm a Steiner Tree algorithm; with every node a terminal it
+// degenerates to an exact MST, which this example also demonstrates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/graph"
+	"steinerforest/internal/moat"
+)
+
+func main() {
+	// Terrain: a grid where edge weight models construction cost.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Grid(7, 7, graph.RandomWeights(rng, 9))
+
+	cities := []int{0, 6, 24, 42, 48}
+	ins := steinerforest.NewInstance(g)
+	ins.SetComponent(0, cities...)
+	fmt.Printf("cities: %v\n", cities)
+
+	res, err := steinerforest.SolveDeterministic(ins, steinerforest.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steiner tree: weight %d over %d track segments (%d rounds)\n",
+		res.Weight, res.Solution.Size(), res.Stats.Rounds)
+
+	// Compare against the exact optimum (Dreyfus-Wagner) and the terminal
+	// metric MST (the classical 2-approximation reference).
+	opt, err := moat.ExactSteinerTree(g, cities)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metricMST := g.SteinerMetricMST(cities)
+	fmt.Printf("exact optimum %d => achieved ratio %.3f (guarantee 2)\n",
+		opt, float64(res.Weight)/float64(opt))
+	fmt.Printf("terminal-metric MST: %d\n", metricMST)
+
+	// MST specialization: every node a terminal.
+	all := steinerforest.NewInstance(g)
+	for v := 0; v < g.N(); v++ {
+		all.SetComponent(0, v)
+	}
+	mstRes, err := steinerforest.SolveDeterministic(all, steinerforest.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, kruskal := g.MST()
+	fmt.Printf("\nMST specialization (t=n): distributed %d vs Kruskal %d (equal: %v)\n",
+		mstRes.Weight, kruskal, mstRes.Weight == kruskal)
+}

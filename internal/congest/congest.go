@@ -1,0 +1,351 @@
+// Package congest simulates the CONGEST(log n) model of Peleg's "Distributed
+// Computing: A Locality-Sensitive Approach", the model all of the paper's
+// bounds are stated in: a synchronous network where, per round, every node
+// performs arbitrary local computation and sends at most one B-bit message
+// over each incident edge (B = O(log n)).
+//
+// Each node runs as its own goroutine executing an ordinary sequential Go
+// function; Host.Exchange is the synchronous round barrier. This keeps
+// multi-phase algorithms readable — per-node code looks like the paper's
+// pseudocode — while the engine enforces the model: one message per edge
+// direction per round, per-message bit budgets, and explicit termination
+// (the run ends when every node's program returns).
+//
+// Runs are deterministic: inboxes are sorted by port, per-node RNGs are
+// seeded from (seed, node ID), and node programs see only local information
+// (their ID, n, their incident edges) plus whatever messages they receive.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"steinerforest/internal/graph"
+)
+
+// Message is a CONGEST payload. Bits must return an upper bound on the
+// encoded size; the engine enforces it against the bandwidth option.
+type Message interface {
+	Bits() int
+}
+
+// Send is an outgoing message on one of the sender's ports.
+type Send struct {
+	Port int
+	Msg  Message
+}
+
+// Recv is a received message, annotated with the local port it arrived on
+// and the sender's node ID.
+type Recv struct {
+	Port int
+	From int
+	Msg  Message
+}
+
+// Program is the code run by every node. It must eventually return; the
+// simulation terminates when all programs have returned (the CONGEST notion
+// of explicit termination).
+type Program func(h *Host)
+
+// Stats aggregates a completed run.
+type Stats struct {
+	// Rounds is the number of communication rounds until the last node
+	// terminated.
+	Rounds int
+	// Messages counts all delivered messages.
+	Messages int64
+	// Bits counts the total delivered message bits.
+	Bits int64
+	// MaxMessageBits is the largest single message observed.
+	MaxMessageBits int
+	// DroppedToTerminated counts messages sent to nodes whose program had
+	// already returned (they are silently discarded, matching terminated
+	// processes).
+	DroppedToTerminated int64
+	// EdgeBits, when edge tracking is enabled, holds cumulative bits per
+	// graph edge index (both directions combined). It is the instrument
+	// behind the Section 3 lower-bound experiments.
+	EdgeBits []int64
+}
+
+// ErrBandwidth is returned when a message exceeds the per-edge bit budget.
+var ErrBandwidth = errors.New("congest: message exceeds bandwidth")
+
+// ErrRoundLimit is returned when the round cap is exceeded, which in this
+// repository always indicates a protocol bug (missing termination).
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+type options struct {
+	bandwidth  int
+	maxRounds  int
+	seed       int64
+	trackEdges bool
+}
+
+// Option configures Run.
+type Option func(*options)
+
+// WithBandwidth sets the per-edge per-round bit budget. A value of 0
+// disables enforcement (the default budget is 32 machine words scaled by
+// log n; see DefaultBandwidth).
+func WithBandwidth(bits int) Option { return func(o *options) { o.bandwidth = bits } }
+
+// WithMaxRounds overrides the safety cap on rounds (default 2_000_000).
+func WithMaxRounds(r int) Option { return func(o *options) { o.maxRounds = r } }
+
+// WithSeed sets the seed from which all per-node RNGs derive (default 1).
+func WithSeed(s int64) Option { return func(o *options) { o.seed = s } }
+
+// WithEdgeTracking enables per-edge bit counters in Stats.EdgeBits.
+func WithEdgeTracking() Option { return func(o *options) { o.trackEdges = true } }
+
+// DefaultBandwidth is the per-edge budget used when none is given:
+// 32 words of ceil(log2(n+1)) bits, a generous O(log n).
+func DefaultBandwidth(n int) int {
+	w := 1
+	for 1<<w < n+1 {
+		w++
+	}
+	if w < 8 {
+		w = 8
+	}
+	return 32 * w
+}
+
+// Host is a node's handle to the simulation. All methods are to be called
+// only from that node's program goroutine.
+type Host struct {
+	id     int
+	n      int
+	ports  []graph.Half // incident edges sorted by neighbor ID
+	portOf map[int]int
+	rng    *rand.Rand
+	round  int
+
+	submit chan<- submission
+	reply  chan []Recv
+	abort  <-chan struct{}
+}
+
+// ID returns this node's identifier.
+func (h *Host) ID() int { return h.id }
+
+// N returns the network size, which nodes know by standard CONGEST
+// convention (the paper computes it by convergecast in footnote 2).
+func (h *Host) N() int { return h.n }
+
+// Degree returns the number of incident edges.
+func (h *Host) Degree() int { return len(h.ports) }
+
+// Neighbor returns the node at the far end of the given port.
+func (h *Host) Neighbor(port int) int { return h.ports[port].To }
+
+// Weight returns the weight of the edge at the given port.
+func (h *Host) Weight(port int) int64 { return h.ports[port].Weight }
+
+// PortOf returns the port leading to the given neighbor, if adjacent.
+func (h *Host) PortOf(node int) (int, bool) {
+	p, ok := h.portOf[node]
+	return p, ok
+}
+
+// EdgeIndex returns the underlying graph edge index of the given port,
+// letting node programs report which incident edges they selected.
+func (h *Host) EdgeIndex(port int) int { return h.ports[port].Index }
+
+// Round returns the number of completed communication rounds.
+func (h *Host) Round() int { return h.round }
+
+// Rand returns this node's private random source.
+func (h *Host) Rand() *rand.Rand { return h.rng }
+
+// Exchange sends out and blocks until the round completes, returning the
+// messages received (sorted by port). Passing nil sends nothing. Sending
+// two messages on one port in a single round panics: the model allows one.
+func (h *Host) Exchange(out []Send) []Recv {
+	select {
+	case h.submit <- submission{node: h.id, out: out, reply: h.reply}:
+	case <-h.abort:
+		panic(abortSentinel{})
+	}
+	select {
+	case in := <-h.reply:
+		h.round++
+		return in
+	case <-h.abort:
+		panic(abortSentinel{})
+	}
+}
+
+// Idle advances the node through the given number of rounds without sending.
+func (h *Host) Idle(rounds int) {
+	for i := 0; i < rounds; i++ {
+		h.Exchange(nil)
+	}
+}
+
+type abortSentinel struct{}
+
+type submission struct {
+	node  int
+	out   []Send
+	reply chan []Recv
+	done  bool
+	err   error
+}
+
+// Run executes program on every node of g and returns aggregate statistics.
+// It returns an error if a program panics, violates the model (bandwidth,
+// duplicate port sends, bad port), or the round cap is reached.
+func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
+	o := options{
+		maxRounds: 2_000_000,
+		seed:      1,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.bandwidth == 0 {
+		o.bandwidth = DefaultBandwidth(g.N())
+	}
+	n := g.N()
+	stats := &Stats{}
+	if o.trackEdges {
+		stats.EdgeBits = make([]int64, g.M())
+	}
+	if n == 0 {
+		return stats, nil
+	}
+
+	subCh := make(chan submission, n)
+	abort := make(chan struct{})
+	aborted := false
+	defer func() {
+		if !aborted {
+			close(abort)
+		}
+	}()
+
+	hosts := make([]*Host, n)
+	for v := 0; v < n; v++ {
+		ports := g.Neighbors(v)
+		portOf := make(map[int]int, len(ports))
+		for p, half := range ports {
+			portOf[half.To] = p
+		}
+		hosts[v] = &Host{
+			id:     v,
+			n:      n,
+			ports:  ports,
+			portOf: portOf,
+			rng:    rand.New(rand.NewSource(o.seed + int64(v)*0x9E3779B9)),
+			submit: subCh,
+			reply:  make(chan []Recv, 1),
+			abort:  abort,
+		}
+		go runNode(hosts[v], program, subCh)
+	}
+
+	fail := func(err error) (*Stats, error) {
+		aborted = true
+		close(abort)
+		return nil, err
+	}
+
+	running := n
+	exch := make([]submission, 0, n)
+	inboxes := make([][]Recv, n)
+	for running > 0 {
+		exch = exch[:0]
+		expect := running
+		for i := 0; i < expect; i++ {
+			s := <-subCh
+			switch {
+			case s.err != nil:
+				return fail(s.err)
+			case s.done:
+				running--
+			default:
+				exch = append(exch, s)
+			}
+		}
+		if len(exch) == 0 {
+			break
+		}
+		if stats.Rounds >= o.maxRounds {
+			return fail(fmt.Errorf("%w (%d)", ErrRoundLimit, o.maxRounds))
+		}
+		// Route messages.
+		for _, s := range exch {
+			h := hosts[s.node]
+			seen := make(map[int]bool, len(s.out))
+			for _, snd := range s.out {
+				if snd.Port < 0 || snd.Port >= len(h.ports) {
+					return fail(fmt.Errorf("congest: node %d sent on invalid port %d", s.node, snd.Port))
+				}
+				if seen[snd.Port] {
+					return fail(fmt.Errorf("congest: node %d sent twice on port %d in one round", s.node, snd.Port))
+				}
+				seen[snd.Port] = true
+				if snd.Msg == nil {
+					return fail(fmt.Errorf("congest: node %d sent nil message", s.node))
+				}
+				b := snd.Msg.Bits()
+				if b > o.bandwidth {
+					return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, s.node))
+				}
+				stats.Messages++
+				stats.Bits += int64(b)
+				if b > stats.MaxMessageBits {
+					stats.MaxMessageBits = b
+				}
+				if stats.EdgeBits != nil {
+					stats.EdgeBits[h.ports[snd.Port].Index] += int64(b)
+				}
+				dst := h.ports[snd.Port].To
+				dh := hosts[dst]
+				dstPort, ok := dh.portOf[s.node]
+				if !ok {
+					return fail(fmt.Errorf("congest: no return port from %d to %d", dst, s.node))
+				}
+				inboxes[dst] = append(inboxes[dst], Recv{Port: dstPort, From: s.node, Msg: snd.Msg})
+			}
+		}
+		stats.Rounds++
+		// Deliver, discarding mail to terminated nodes.
+		live := make(map[int]bool, len(exch))
+		for _, s := range exch {
+			live[s.node] = true
+		}
+		for v := range inboxes {
+			if len(inboxes[v]) > 0 && !live[v] {
+				stats.DroppedToTerminated += int64(len(inboxes[v]))
+				inboxes[v] = nil
+			}
+		}
+		for _, s := range exch {
+			in := inboxes[s.node]
+			inboxes[s.node] = nil
+			sort.Slice(in, func(a, b int) bool { return in[a].Port < in[b].Port })
+			s.reply <- in
+		}
+	}
+	return stats, nil
+}
+
+func runNode(h *Host, program Program, subCh chan<- submission) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSentinel); isAbort {
+				return // engine already failing; exit quietly
+			}
+			subCh <- submission{node: h.id, err: fmt.Errorf("congest: node %d panicked: %v", h.id, r)}
+			return
+		}
+		subCh <- submission{node: h.id, done: true}
+	}()
+	program(h)
+}

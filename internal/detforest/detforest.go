@@ -1,0 +1,514 @@
+// Package detforest implements the paper's deterministic distributed
+// Steiner Forest algorithms (Section 4): the O(ks+t)-round emulation of the
+// centralized moat-growing Algorithm 1 (Section 4.1, Theorem 4.17), and the
+// growth-phase variant with rounded radii from Section 4.2 that trades the
+// exact factor 2 for (2+ε) and fewer decomposition recomputations.
+//
+// Structure of the Section 4.1 node program, mirroring Appendix E.1:
+//
+//  1. build a BFS tree; make every terminal's (id, label) globally known
+//     (pipelined upcast + broadcast, O(D+t) rounds);
+//  2. per merge phase: exchange edge-coverage state, run multi-source
+//     Bellman-Ford under reduced weights to extend the terminal
+//     decomposition (Lemma 4.8), propose candidate merges on region
+//     boundary edges (Definition 4.11), and collect them with the
+//     cycle-filtered pipelined upcast of Corollary 4.16, stopping at the
+//     phase-ending (activity-changing) merge;
+//  3. replay the accepted merges on every node's replica of the moat
+//     bookkeeping, grow regions by µ(j), and repeat while any moat is
+//     active;
+//  4. select the minimal solving subforest of the candidate forest locally
+//     and mark its physical edges by walking tokens up the region trees
+//     (Step 5 of the algorithm in Appendix E.1).
+//
+// The output forest has, on tie-free instances, exactly the weight of the
+// centralized oracle's output, which the test suite asserts.
+package detforest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"steinerforest/internal/congest"
+	"steinerforest/internal/dist"
+	"steinerforest/internal/moat"
+	"steinerforest/internal/rational"
+	"steinerforest/internal/steiner"
+)
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	Solution *steiner.Solution
+	Stats    *congest.Stats
+	Phases   int // merge phases executed (bounded by 2k, Lemma 4.4)
+	Merges   int // candidate merges selected across all phases
+}
+
+// Solve runs the Section 4.1 deterministic algorithm on ins and returns the
+// selected 2-approximate forest with simulation statistics.
+func Solve(ins *steiner.Instance, opts ...congest.Option) (*Result, error) {
+	return solve(ins, opts)
+}
+
+func solve(ins *steiner.Instance, opts []congest.Option) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	work := ins.Minimalize()
+	out := &sharedOutput{selected: steiner.NewSolution(ins.G)}
+	var phases, merges int
+	var once sync.Once
+	program := func(h *congest.Host) {
+		// Nodes see the raw labels; singleton components are discovered
+		// and dropped distributedly (Lemma 2.4) during the announcement.
+		ns := newNodeState(h, ins.Label[h.ID()])
+		ns.run(out)
+		once.Do(func() {
+			phases = ns.phase
+			merges = len(ns.allMerges)
+		})
+	}
+	stats, err := congest.Run(ins.G, program, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := steiner.Verify(work, out.selected); err != nil {
+		return nil, fmt.Errorf("detforest: produced infeasible output: %w", err)
+	}
+	return &Result{Solution: out.selected, Stats: stats, Phases: phases, Merges: merges}, nil
+}
+
+// sharedOutput gathers each node's incident selected edges; it is the
+// simulation harness's output channel, not part of the protocol.
+type sharedOutput struct {
+	mu       sync.Mutex
+	selected *steiner.Solution
+}
+
+func (o *sharedOutput) mark(edgeIndex int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.selected.Add(edgeIndex)
+}
+
+// termInfo is the globally broadcast terminal table entry.
+type termInfo struct {
+	node  int
+	label int
+}
+
+// termItem announces a terminal during step 1.
+type termItem termInfo
+
+func (m termItem) Bits() int { return 2 * 24 }
+func (m termItem) Less(o dist.Item) bool {
+	x := o.(termItem)
+	return m.node < x.node
+}
+
+// covMsg carries one side's cumulative edge coverage.
+type covMsg struct {
+	cov rational.Q
+}
+
+func (m covMsg) Bits() int { return m.cov.Bits() + 2 }
+
+// nbrMsg announces a node's post-decomposition region view to neighbors.
+type nbrMsg struct {
+	ownerIdx int // terminal index, -1 if unowned
+	active   bool
+	dhat     rational.Q
+}
+
+func (m nbrMsg) Bits() int { return 24 + 1 + m.dhat.Bits() + 2 }
+
+// candItem is a candidate merge (Definition 4.11): merging the moats of
+// terminals v and w (indices into the terminal table) via graph edge
+// {eu, ev}, at moat growth weight w from the phase start.
+type candItem struct {
+	weight rational.Q
+	v, w   int // terminal indices, v < w
+	eu, ev int // edge endpoints (node ids), eu < ev
+}
+
+func (m candItem) Bits() int { return m.weight.Bits() + 4*24 + 2 }
+
+func (m candItem) Less(o dist.Item) bool {
+	x := o.(candItem)
+	if c := m.weight.Cmp(x.weight); c != 0 {
+		return c < 0
+	}
+	if m.v != x.v {
+		return m.v < x.v
+	}
+	if m.w != x.w {
+		return m.w < x.w
+	}
+	if m.eu != x.eu {
+		return m.eu < x.eu
+	}
+	return m.ev < x.ev
+}
+
+// tokenMsg walks up region trees during final edge marking.
+type tokenMsg struct{}
+
+func (tokenMsg) Bits() int { return 2 }
+
+type nodeState struct {
+	h     *congest.Host
+	t     *dist.Tree
+	label int
+
+	terms []termInfo
+	tIdx  map[int]int // node id -> terminal index
+	book  *moat.Book
+
+	owner      int // owning terminal index, -1 if unclaimed
+	parentPort int // port toward the region root, -1 at roots/unclaimed
+	cov        []rational.Q
+
+	eps       [2]int64 // ε as a fraction (rounded variant only)
+	phase     int
+	allMerges []candItem
+}
+
+// installTerms builds the terminal table and moat bookkeeping from the
+// globally broadcast terminal announcements, discarding singleton input
+// components (the distributed counterpart of Lemma 2.4: after the
+// announcement every node knows each label's multiplicity).
+func (ns *nodeState) installTerms(all []dist.Item) {
+	counts := make(map[int]int, len(all))
+	for _, x := range all {
+		counts[x.(termItem).label]++
+	}
+	ns.terms = ns.terms[:0]
+	ns.tIdx = make(map[int]int, len(all))
+	var labels []int
+	for _, x := range all {
+		ti := termInfo(x.(termItem))
+		if counts[ti.label] < 2 {
+			continue
+		}
+		ns.tIdx[ti.node] = len(ns.terms)
+		ns.terms = append(ns.terms, ti)
+		labels = append(labels, ti.label)
+	}
+	ns.book = moat.NewBook(labels)
+}
+
+func newNodeState(h *congest.Host, label int) *nodeState {
+	return &nodeState{
+		h:     h,
+		label: label,
+		owner: -1,
+		cov:   make([]rational.Q, h.Degree()),
+	}
+}
+
+func (ns *nodeState) run(out *sharedOutput) {
+	h := ns.h
+	ns.t = dist.BuildBFS(h)
+
+	// Step 1: make all terminals and labels globally known.
+	var local []dist.Item
+	if ns.label != steiner.NoLabel {
+		local = append(local, termItem{node: h.ID(), label: ns.label})
+	}
+	all := dist.UpcastBroadcast(h, ns.t, local, nil, nil)
+	ns.installTerms(all)
+	if idx, ok := ns.tIdx[h.ID()]; ok {
+		ns.owner = idx
+		ns.parentPort = -1
+	}
+	if len(ns.terms) == 0 {
+		return
+	}
+
+	// Step 3: merge phases.
+	for ns.book.AnyActive() {
+		ns.phase++
+		ns.runPhase()
+		if ns.phase > 2*len(ns.terms)+2 {
+			panic("detforest: merge phases exceed bound (protocol bug)")
+		}
+	}
+
+	// Steps 4+5: select the minimal subforest and mark its edges.
+	ns.markEdges(out)
+}
+
+// runPhase executes one merge phase: decomposition, candidate collection,
+// replay, and region growth.
+func (ns *nodeState) runPhase() {
+	h := ns.h
+	deg := h.Degree()
+
+	// (a) Exchange coverage to agree on reduced edge weights Ŵj.
+	covOut := make([]congest.Send, 0, deg)
+	for p := 0; p < deg; p++ {
+		covOut = append(covOut, congest.Send{Port: p, Msg: covMsg{cov: ns.cov[p]}})
+	}
+	nbrCov := make([]rational.Q, deg)
+	for _, rc := range h.Exchange(covOut) {
+		nbrCov[rc.Port] = rc.Msg.(covMsg).cov
+	}
+	reduced := make([]rational.Q, deg)
+	for p := 0; p < deg; p++ {
+		w := rational.FromInt(h.Weight(p)).Sub(ns.cov[p]).Sub(nbrCov[p])
+		reduced[p] = rational.Max(w, rational.Q{})
+	}
+
+	// (b) Terminal decomposition via multi-source Bellman-Ford with active
+	// regions as sources (Lemma 4.8).
+	activeOwned := ns.owner >= 0 && ns.book.Active(ns.owner)
+	bf := dist.BellmanFord(h, ns.t, dist.BFConfig{
+		IsSource:   activeOwned,
+		SourceID:   ns.ownerNode(),
+		EdgeWeight: func(port int) rational.Q { return reduced[port] },
+	})
+
+	// Effective proposal view: claimed nodes keep their owner with dhat 0;
+	// unclaimed nodes tentatively adopt the decomposition's winner.
+	myOwner, myActive, myDhat := ns.owner, false, rational.Q{}
+	tentParent := -1
+	if ns.owner >= 0 {
+		myActive = ns.book.Active(ns.owner)
+	} else if bf.Reached {
+		myOwner = ns.tIdx[bf.Source]
+		myActive = true
+		myDhat = bf.Dist
+		tentParent = bf.ParentPort
+	}
+
+	// (c) Tell neighbors the view.
+	view := make([]congest.Send, 0, deg)
+	for p := 0; p < deg; p++ {
+		view = append(view, congest.Send{Port: p, Msg: nbrMsg{ownerIdx: myOwner, active: myActive, dhat: myDhat}})
+	}
+	nbr := make([]nbrMsg, deg)
+	for p := range nbr {
+		nbr[p] = nbrMsg{ownerIdx: -1}
+	}
+	for _, rc := range h.Exchange(view) {
+		nbr[rc.Port] = rc.Msg.(nbrMsg)
+	}
+
+	// (d) Propose candidate merges on region boundary edges.
+	var cands []dist.Item
+	if myOwner >= 0 && myActive {
+		for p := 0; p < deg; p++ {
+			o := nbr[p]
+			if o.ownerIdx < 0 || o.ownerIdx == myOwner {
+				continue
+			}
+			gap := myDhat.Add(reduced[p]).Add(o.dhat)
+			weight := gap
+			if o.active {
+				weight = gap.Half()
+			}
+			v, w := myOwner, o.ownerIdx
+			if v > w {
+				v, w = w, v
+			}
+			eu, ev := h.ID(), h.Neighbor(p)
+			if eu > ev {
+				eu, ev = ev, eu
+			}
+			cands = append(cands, candItem{weight: weight, v: v, w: w, eu: eu, ev: ev})
+		}
+	}
+
+	// (e) Filtered collection, stopping at the phase-ending merge
+	// (Corollary 4.16).
+	newFilter := func() dist.Filter {
+		spec := ns.book.Clone()
+		return func(x dist.Item) bool {
+			c := x.(candItem)
+			if spec.SameMoat(c.v, c.w) {
+				return false
+			}
+			spec.Merge(c.v, c.w)
+			return true
+		}
+	}
+	ender := ns.book.Clone()
+	stopAfter := func(x dist.Item) bool {
+		c := x.(candItem)
+		return ender.Merge(c.v, c.w)
+	}
+	accepted := dist.UpcastBroadcast(h, ns.t, cands, newFilter, stopAfter)
+	if len(accepted) == 0 {
+		panic("detforest: active phase produced no merges (infeasible instance?)")
+	}
+
+	// (f) Replay on the local replica; µ(j) is the phase-ender's weight.
+	mu := accepted[len(accepted)-1].(candItem).weight
+	for _, x := range accepted {
+		c := x.(candItem)
+		ns.book.Merge(c.v, c.w)
+		ns.allMerges = append(ns.allMerges, c)
+	}
+
+	// (g) Grow regions: claim newly covered nodes, extend edge coverage.
+	if ns.owner < 0 && myOwner >= 0 && myDhat.LessEq(mu) {
+		ns.owner = myOwner
+		ns.parentPort = tentParent
+	}
+	for p := 0; p < deg; p++ {
+		o := nbr[p]
+		growMine := myOwner >= 0 && myActive
+		growNbr := o.ownerIdx >= 0 && o.active
+		ns.cov[p] = ns.cov[p].Add(coverGrowth(mu, myDhat, o.dhat, reduced[p], growMine, growNbr))
+	}
+}
+
+// coverGrowth computes how much of an edge's remaining (reduced) length the
+// near side's moat covers during a phase of total growth mu, given both
+// sides' reduced distances and whether each side grows. Fronts enter the
+// edge at their dhat and stop where they meet.
+func coverGrowth(mu, dNear, dFar, reduced rational.Q, growNear, growFar bool) rational.Q {
+	if !growNear || reduced.IsZero() {
+		return rational.Q{}
+	}
+	limit := mu
+	if growFar {
+		// Meeting time along this edge: (reduced + dNear + dFar) / 2.
+		meet := reduced.Add(dNear).Add(dFar).Half()
+		limit = rational.Min(limit, meet)
+	}
+	return rational.Clamp(limit.Sub(dNear), rational.Q{}, reduced)
+}
+
+func (ns *nodeState) ownerNode() int {
+	if ns.owner < 0 {
+		return -1
+	}
+	return ns.terms[ns.owner].node
+}
+
+// markEdges performs Steps 4-5: every node computes the minimal solving
+// subforest Fmin of the candidate forest locally, then the inducing edges'
+// endpoints start tokens that walk up the region trees marking physical
+// edges.
+func (ns *nodeState) markEdges(out *sharedOutput) {
+	h := ns.h
+	fmin := minimalSubforest(ns.terms, ns.allMerges)
+
+	tokens := 0 // pending token sends up the parent chain
+	seen := false
+	for _, c := range fmin {
+		if h.ID() == c.eu || h.ID() == c.ev {
+			other := c.eu
+			if h.ID() == c.eu {
+				other = c.ev
+			}
+			if p, ok := h.PortOf(other); ok {
+				out.mark(h.EdgeIndex(p))
+			}
+			if !seen {
+				seen = true
+				tokens++
+			}
+		}
+	}
+	step := func(r int, in []congest.Recv) ([]congest.Send, bool) {
+		got := false
+		for _, rc := range in {
+			if _, ok := rc.Msg.(tokenMsg); ok {
+				got = true
+			}
+		}
+		if got && !seen {
+			seen = true
+			tokens++
+		}
+		if tokens > 0 && ns.parentPort >= 0 {
+			tokens = 0
+			out.mark(h.EdgeIndex(ns.parentPort))
+			return []congest.Send{{Port: ns.parentPort, Msg: tokenMsg{}}}, true
+		}
+		tokens = 0
+		return nil, got
+	}
+	dist.RunQuiet(h, ns.t, step)
+}
+
+// minimalSubforest computes Fmin: the subset of accepted merges whose
+// removal would split an input component within its candidate-forest tree.
+func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
+	n := len(terms)
+	adj := make([][]int, n) // terminal index -> merge indices
+	for mi, c := range merges {
+		adj[c.v] = append(adj[c.v], mi)
+		adj[c.w] = append(adj[c.w], mi)
+	}
+	totals := make(map[int]int)
+	for _, ti := range terms {
+		totals[ti.label]++
+	}
+	needed := make([]bool, len(merges))
+	visited := make([]bool, n)
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		// Iterative post-order over the merge forest.
+		type frame struct {
+			node, parentMerge, childIdx int
+		}
+		counts := make(map[int]map[int]int)
+		newCount := func(v int) map[int]int {
+			return map[int]int{terms[v].label: 1}
+		}
+		stack := []frame{{node: root, parentMerge: -1}}
+		counts[root] = newCount(root)
+		visited[root] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(adj[f.node]) {
+				mi := adj[f.node][f.childIdx]
+				f.childIdx++
+				if mi == f.parentMerge {
+					continue
+				}
+				c := merges[mi]
+				next := c.v
+				if next == f.node {
+					next = c.w
+				}
+				if visited[next] {
+					continue
+				}
+				visited[next] = true
+				counts[next] = newCount(next)
+				stack = append(stack, frame{node: next, parentMerge: mi})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if f.parentMerge == -1 {
+				continue
+			}
+			for l, c := range counts[f.node] {
+				if c > 0 && c < totals[l] {
+					needed[f.parentMerge] = true
+					break
+				}
+			}
+			parent := stack[len(stack)-1].node
+			for l, c := range counts[f.node] {
+				counts[parent][l] += c
+			}
+			delete(counts, f.node)
+		}
+	}
+	var fmin []candItem
+	for mi, c := range merges {
+		if needed[mi] {
+			fmin = append(fmin, c)
+		}
+	}
+	sort.Slice(fmin, func(i, j int) bool { return fmin[i].Less(fmin[j]) })
+	return fmin
+}

@@ -1,0 +1,282 @@
+package detforest
+
+import (
+	"math/rand"
+	"testing"
+
+	"steinerforest/internal/graph"
+	"steinerforest/internal/moat"
+	"steinerforest/internal/steiner"
+)
+
+func randomInstance(rng *rand.Rand, n, k int, maxW int64) *steiner.Instance {
+	g := graph.GNP(n, 0.25, graph.RandomWeights(rng, maxW), rng)
+	ins := steiner.NewInstance(g)
+	perm := rng.Perm(n)
+	idx := 0
+	for c := 0; c < k && idx+1 < n; c++ {
+		size := 2 + rng.Intn(3)
+		for j := 0; j < size && idx < n; j++ {
+			ins.SetComponent(c, perm[idx])
+			idx++
+		}
+	}
+	return ins
+}
+
+func TestSolveTwoTerminalsPath(t *testing.T) {
+	g := graph.Path(6, graph.UnitWeights)
+	ins := steiner.NewInstance(g)
+	ins.SetComponent(0, 0, 5)
+	res, err := Solve(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := res.Solution.Weight(g); w != 5 {
+		t.Errorf("weight = %d, want 5", w)
+	}
+	if res.Solution.Size() != 5 {
+		t.Errorf("size = %d", res.Solution.Size())
+	}
+}
+
+func TestSolveSelectsShortestPath(t *testing.T) {
+	// Heavy chord must be avoided.
+	g := graph.Path(5, graph.UnitWeights)
+	g.AddEdge(0, 4, 50)
+	ins := steiner.NewInstance(g)
+	ins.SetComponent(0, 0, 4)
+	res, err := Solve(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := res.Solution.Weight(g); w != 4 {
+		t.Errorf("weight = %d, want 4", w)
+	}
+}
+
+func TestSolveEmptyInstance(t *testing.T) {
+	ins := steiner.NewInstance(graph.Grid(3, 3, graph.UnitWeights))
+	res, err := Solve(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Size() != 0 {
+		t.Errorf("size = %d, want 0", res.Solution.Size())
+	}
+}
+
+func TestSolveStarComponents(t *testing.T) {
+	g := graph.Star(7, graph.UnitWeights)
+	ins := steiner.NewInstance(g)
+	ins.SetComponent(0, 1, 2)
+	ins.SetComponent(1, 3, 4)
+	res, err := Solve(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := res.Solution.Weight(g); w != 4 {
+		t.Errorf("weight = %d, want 4", w)
+	}
+	if !steiner.IsForest(g, res.Solution) {
+		t.Error("not a forest")
+	}
+}
+
+func TestSolveMatchesCentralizedOracle(t *testing.T) {
+	// The central correctness claim: on tie-free instances the distributed
+	// emulation selects a forest of exactly the oracle's weight.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(17)
+		k := 1 + rng.Intn(3)
+		ins := randomInstance(rng, n, k, 1000) // large weights: ties improbable
+		want, err := moat.SolveAKR(ins)
+		if err != nil {
+			t.Fatalf("trial %d oracle: %v", trial, err)
+		}
+		got, err := Solve(ins)
+		if err != nil {
+			t.Fatalf("trial %d distributed: %v", trial, err)
+		}
+		gw := got.Solution.Weight(ins.G)
+		if gw != want.Weight {
+			t.Fatalf("trial %d: distributed weight %d != oracle %d (n=%d k=%d)",
+				trial, gw, want.Weight, n, k)
+		}
+		if !steiner.IsForest(ins.G, got.Solution) {
+			t.Fatalf("trial %d: not a forest", trial)
+		}
+		if !steiner.IsMinimal(ins.Minimalize(), got.Solution) {
+			t.Fatalf("trial %d: not minimal", trial)
+		}
+		if got.Phases > 2*k {
+			t.Fatalf("trial %d: %d phases > 2k=%d", trial, got.Phases, 2*k)
+		}
+	}
+}
+
+func TestSolveCertifiedApproximation(t *testing.T) {
+	// Even with unit weights (massive ties), feasibility and the certified
+	// 2-approximation against the oracle's dual bound must hold.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(12)
+		g := graph.GNP(n, 0.3, graph.UnitWeights, rng)
+		ins := steiner.NewInstance(g)
+		perm := rng.Perm(n)
+		ins.SetComponent(0, perm[0], perm[1], perm[2])
+		ins.SetComponent(1, perm[3], perm[4])
+		oracle, err := moat.SolveAKR(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Solve(ins)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		w := float64(got.Solution.Weight(g))
+		if lb := oracle.DualSum.Float(); w > 2*lb+1e-9 {
+			t.Fatalf("trial %d: weight %.1f > 2x dual %.1f", trial, w, lb)
+		}
+	}
+}
+
+func TestSolveMSTSpecialization(t *testing.T) {
+	// k=1, t=n: output must be an exact MST.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(8)
+		g := graph.GNP(n, 0.4, graph.RandomWeights(rng, 10000), rng)
+		ins := steiner.NewInstance(g)
+		for v := 0; v < n; v++ {
+			ins.SetComponent(0, v)
+		}
+		res, err := Solve(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, mst := g.MST()
+		if w := res.Solution.Weight(g); w != mst {
+			t.Fatalf("trial %d: weight %d != MST %d", trial, w, mst)
+		}
+	}
+}
+
+func TestSolveOnStructuredGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	builders := map[string]func() *steiner.Instance{
+		"grid": func() *steiner.Instance {
+			g := graph.Grid(4, 5, graph.RandomWeights(rng, 100))
+			ins := steiner.NewInstance(g)
+			ins.SetComponent(0, 0, 19)
+			ins.SetComponent(1, 4, 15)
+			return ins
+		},
+		"cycle": func() *steiner.Instance {
+			g := graph.Cycle(12, graph.RandomWeights(rng, 100))
+			ins := steiner.NewInstance(g)
+			ins.SetComponent(0, 0, 6)
+			ins.SetComponent(1, 3, 9)
+			return ins
+		},
+		"caterpillar": func() *steiner.Instance {
+			g := graph.Caterpillar(5, 2, graph.RandomWeights(rng, 50))
+			ins := steiner.NewInstance(g)
+			ins.SetComponent(0, 5, 14)
+			return ins
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			ins := build()
+			want, err := moat.SolveAKR(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Solve(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gw := got.Solution.Weight(ins.G); gw != want.Weight {
+				t.Fatalf("weight %d != oracle %d", gw, want.Weight)
+			}
+		})
+	}
+}
+
+func TestSolveRoundsScaleWithKS(t *testing.T) {
+	// Theorem 4.17 shape check: rounds within a generous constant of
+	// k*s + t + D.
+	rng := rand.New(rand.NewSource(37))
+	g := graph.GNP(40, 0.15, graph.RandomWeights(rng, 50), rng)
+	ins := steiner.NewInstance(g)
+	perm := rng.Perm(40)
+	for c := 0; c < 4; c++ {
+		ins.SetComponent(c, perm[2*c], perm[2*c+1])
+	}
+	res, err := Solve(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ShortestPathDiameter()
+	k := 4
+	bound := 40 * (k*s + ins.NumTerminals() + g.Diameter() + 10)
+	if res.Stats.Rounds > bound {
+		t.Errorf("rounds = %d exceeds generous bound %d (s=%d)", res.Stats.Rounds, bound, s)
+	}
+}
+
+func TestSolveRoundedFeasibleAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(14)
+		k := 1 + rng.Intn(3)
+		ins := randomInstance(rng, n, k, 60)
+		res, err := SolveRounded(ins, 1, 2) // eps = 1/2
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		work := ins.Minimalize()
+		if err := steiner.Verify(work, res.Solution); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		oracle, err := moat.SolveAKR(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracle.DualSum.IsZero() {
+			continue
+		}
+		ratio := float64(res.Solution.Weight(ins.G)) / oracle.DualSum.Float()
+		if ratio > 2.5+1e-9 {
+			t.Fatalf("trial %d: rounded ratio %.3f > 2.5", trial, ratio)
+		}
+	}
+}
+
+func TestSolveRoundedMatchesCentralizedRounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(12)
+		ins := randomInstance(rng, n, 2, 500)
+		want, err := moat.SolveRounded(ins, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveRounded(ins, 1, 2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gw := got.Solution.Weight(ins.G); gw != want.Weight {
+			t.Fatalf("trial %d: distributed rounded weight %d != oracle %d", trial, gw, want.Weight)
+		}
+	}
+}
+
+func TestSolveRoundedRejectsBadEpsilon(t *testing.T) {
+	ins := steiner.NewInstance(graph.Path(3, graph.UnitWeights))
+	if _, err := SolveRounded(ins, 0, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// WeightFn assigns a weight to edge {u, v}. Generators call it once per
+// edge; implementations must return a positive value.
+type WeightFn func(u, v int) int64
+
+// UnitWeights assigns weight 1 to every edge.
+func UnitWeights(_, _ int) int64 { return 1 }
+
+// RandomWeights returns a WeightFn drawing uniformly from [1, maxW] using
+// rng. Distinct draws make shortest-path ties improbable, which the
+// deterministic-vs-centralized equality tests rely on.
+func RandomWeights(rng *rand.Rand, maxW int64) WeightFn {
+	if maxW < 1 {
+		panic(fmt.Sprintf("graph: maxW %d < 1", maxW))
+	}
+	return func(_, _ int) int64 { return 1 + rng.Int63n(maxW) }
+}
+
+// Path returns the path graph 0-1-...-(n-1). Its shortest-path diameter s
+// equals n-1, making it the stress case for the s-dependent bounds.
+func Path(n int, w WeightFn) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, w(i, i+1))
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 nodes.
+func Cycle(n int, w WeightFn) *Graph {
+	g := Path(n, w)
+	if n >= 3 {
+		g.AddEdge(n-1, 0, w(n-1, 0))
+	}
+	return g
+}
+
+// Star returns a star with center 0 and n-1 leaves: diameter 2, the
+// low-D regime of the bounds.
+func Star(n int, w WeightFn) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, w(0, i))
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph (node r*cols+c).
+func Grid(rows, cols int, w WeightFn) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), w(id(r, c), id(r, c+1)))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), w(id(r, c), id(r+1, c)))
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int, w WeightFn) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v, w(u, v))
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes built from a
+// random Prüfer-style attachment: node i attaches to a uniform node < i.
+func RandomTree(n int, w WeightFn, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		g.AddEdge(p, i, w(p, i))
+	}
+	return g
+}
+
+// GNP returns a connected Erdős–Rényi graph: each pair is an edge with
+// probability p, and a random spanning tree is added first so the result is
+// always connected.
+func GNP(n int, p float64, w WeightFn, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		pa := rng.Intn(i)
+		g.AddEdge(pa, i, w(pa, i))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if _, ok := g.EdgeBetween(u, v); ok {
+				continue
+			}
+			if rng.Float64() < p {
+				g.AddEdge(u, v, w(u, v))
+			}
+		}
+	}
+	return g
+}
+
+// Lollipop returns a clique on cliqueN nodes with a path of pathN extra
+// nodes attached to node 0. The family sweeps the shortest-path diameter s
+// from small to large at roughly constant n, which experiment T6 uses to
+// probe the s vs sqrt(n) crossover of the randomized algorithm.
+func Lollipop(cliqueN, pathN int, w WeightFn) *Graph {
+	g := New(cliqueN + pathN)
+	for u := 0; u < cliqueN; u++ {
+		for v := u + 1; v < cliqueN; v++ {
+			g.AddEdge(u, v, w(u, v))
+		}
+	}
+	prev := 0
+	for i := 0; i < pathN; i++ {
+		next := cliqueN + i
+		g.AddEdge(prev, next, w(prev, next))
+		prev = next
+	}
+	return g
+}
+
+// Caterpillar returns a spine path of spine nodes with legs leaves attached
+// to each spine node: a tree with both large s and many low-degree leaves.
+func Caterpillar(spine, legs int, w WeightFn) *Graph {
+	g := New(spine * (legs + 1))
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1, w(i, i+1))
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(i, next, w(i, next))
+			next++
+		}
+	}
+	return g
+}
+
+// HighwayPath returns a unit-weight path of n nodes plus a hub (node n)
+// linked to every spacing-th path node by an overpriced chord. The chords
+// shrink the unweighted diameter to O(spacing) while every shortest path
+// still follows the path, so s stays Θ(n): the small-D / large-s regime
+// that separates the paper's min{s, √n} term from the +D term.
+func HighwayPath(n, spacing int, chordW int64) *Graph {
+	g := New(n + 1)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	for i := 0; i < n; i += spacing {
+		g.AddEdge(n, i, chordW)
+	}
+	return g
+}

@@ -1,0 +1,166 @@
+// Package graph provides the weighted undirected graphs underlying every
+// experiment in this repository: construction, generators, and the metrics
+// the paper's bounds are stated in (unweighted diameter D, weighted diameter
+// WD, shortest-path diameter s), plus classical utilities (Dijkstra, BFS,
+// Kruskal MST, connected components, union-find).
+//
+// Nodes are dense integers 0..n-1. Edge weights are positive int64 values,
+// polynomially bounded in n as the CONGEST model assumes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Half is one direction of an undirected edge as stored in adjacency lists.
+type Half struct {
+	To     int   // neighbor node
+	Weight int64 // edge weight (>= 1)
+	Index  int   // index into Graph.Edges
+}
+
+// Edge is an undirected weighted edge with U < V.
+type Edge struct {
+	U, V   int
+	Weight int64
+}
+
+// Other returns the endpoint of e that is not x.
+func (e Edge) Other(x int) int {
+	if e.U == x {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is a weighted undirected simple graph. The zero value is unusable;
+// construct with New.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Half
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Half, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Neighbors returns the adjacency list of u. Callers must not modify it.
+// The list is sorted by neighbor ID, so per-node port numbering is
+// deterministic.
+func (g *Graph) Neighbors(u int) []Half { return g.adj[u] }
+
+// Degree returns the number of edges incident to u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// AddEdge inserts the undirected edge {u, v} with weight w and returns its
+// index. It panics on self-loops, duplicate edges, or non-positive weights:
+// all are programming errors in instance construction.
+func (g *Graph) AddEdge(u, v int, w int64) int {
+	switch {
+	case u == v:
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	case u < 0 || u >= g.n || v < 0 || v >= g.n:
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n))
+	case w <= 0:
+		panic(fmt.Sprintf("graph: non-positive weight %d on {%d,%d}", w, u, v))
+	}
+	if _, ok := g.EdgeBetween(u, v); ok {
+		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: w})
+	g.insertHalf(u, Half{To: v, Weight: w, Index: idx})
+	g.insertHalf(v, Half{To: u, Weight: w, Index: idx})
+	return idx
+}
+
+func (g *Graph) insertHalf(u int, h Half) {
+	lst := g.adj[u]
+	pos := sort.Search(len(lst), func(i int) bool { return lst[i].To >= h.To })
+	lst = append(lst, Half{})
+	copy(lst[pos+1:], lst[pos:])
+	lst[pos] = h
+	g.adj[u] = lst
+}
+
+// EdgeBetween returns the index of the edge {u, v} if it exists.
+func (g *Graph) EdgeBetween(u, v int) (int, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
+	}
+	lst := g.adj[u]
+	pos := sort.Search(len(lst), func(i int) bool { return lst[i].To >= v })
+	if pos < len(lst) && lst[pos].To == v {
+		return lst[pos].Index, true
+	}
+	return 0, false
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 {
+	var sum int64
+	for _, e := range g.edges {
+		sum += e.Weight
+	}
+	return sum
+}
+
+// MaxWeight returns the largest edge weight (0 for edgeless graphs).
+func (g *Graph) MaxWeight() int64 {
+	var maxW int64
+	for _, e := range g.edges {
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+	return maxW
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = append([]Edge(nil), g.edges...)
+	c.adj = make([][]Half, g.n)
+	for u := range g.adj {
+		c.adj[u] = append([]Half(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// SubgraphWeight sums the weights of the edges whose indices are set in the
+// boolean selection slice (indexed like Edges).
+func (g *Graph) SubgraphWeight(selected []bool) int64 {
+	var sum int64
+	for i, ok := range selected {
+		if ok {
+			sum += g.edges[i].Weight
+		}
+	}
+	return sum
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.n, len(g.edges))
+}

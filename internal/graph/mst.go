@@ -1,0 +1,74 @@
+package graph
+
+import "sort"
+
+// MST computes a minimum spanning forest of g with Kruskal's algorithm.
+// Ties are broken by edge index, which is deterministic for a given
+// construction order. It returns the selected edge indices and the total
+// weight.
+func (g *Graph) MST() ([]int, int64) {
+	order := make([]int, len(g.edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := g.edges[order[a]], g.edges[order[b]]
+		if ea.Weight != eb.Weight {
+			return ea.Weight < eb.Weight
+		}
+		return order[a] < order[b]
+	})
+	uf := NewUnionFind(g.n)
+	var picked []int
+	var total int64
+	for _, idx := range order {
+		e := g.edges[idx]
+		if uf.Union(e.U, e.V) {
+			picked = append(picked, idx)
+			total += e.Weight
+		}
+	}
+	return picked, total
+}
+
+// SteinerMetricMST computes the MST of the complete graph over the given
+// terminals under shortest-path distances in g, returning the metric MST
+// weight. This is the classical 2-approximation reference point for Steiner
+// trees and the quantity the paper's MST specialization reduces to.
+func (g *Graph) SteinerMetricMST(terminals []int) int64 {
+	t := len(terminals)
+	if t <= 1 {
+		return 0
+	}
+	dist := make([][]int64, t)
+	for i, v := range terminals {
+		dist[i] = g.Dijkstra(v).Dist
+	}
+	// Prim over the terminal metric.
+	inTree := make([]bool, t)
+	best := make([]int64, t)
+	for i := range best {
+		best[i] = Infinity
+	}
+	best[0] = 0
+	var total int64
+	for iter := 0; iter < t; iter++ {
+		u := -1
+		for i := 0; i < t; i++ {
+			if !inTree[i] && (u == -1 || best[i] < best[u]) {
+				u = i
+			}
+		}
+		if best[u] == Infinity {
+			break // disconnected terminal set
+		}
+		inTree[u] = true
+		total += best[u]
+		for i := 0; i < t; i++ {
+			if d := dist[u][terminals[i]]; !inTree[i] && d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,272 @@
+package graph
+
+import "container/heap"
+
+// Infinity is the sentinel distance for unreachable nodes.
+const Infinity = int64(1) << 62
+
+// BFSResult holds single-source unweighted shortest-path data.
+type BFSResult struct {
+	Source int
+	Dist   []int // hop distance, -1 if unreachable
+	Parent []int // BFS-tree parent, -1 at source and unreachable nodes
+}
+
+// BFS computes unweighted shortest paths from src.
+func (g *Graph) BFS(src int) *BFSResult {
+	res := &BFSResult{
+		Source: src,
+		Dist:   make([]int, g.n),
+		Parent: make([]int, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[u] {
+			if res.Dist[h.To] == -1 {
+				res.Dist[h.To] = res.Dist[u] + 1
+				res.Parent[h.To] = u
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return res
+}
+
+// Eccentricity returns the maximum finite hop distance from src.
+func (r *BFSResult) Eccentricity() int {
+	ecc := 0
+	for _, d := range r.Dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact unweighted diameter D of g (the maximum over
+// connected pairs). It runs BFS from every node, which is fine at the
+// simulator's scales. Disconnected graphs report the largest component-wise
+// eccentricity.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if e := g.BFS(v).Eccentricity(); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// SSSPResult holds single-source weighted shortest-path data. Among
+// minimum-weight paths, the one with the fewest hops is chosen (further ties
+// broken by smaller predecessor ID), matching the paper's deterministic
+// tie-breaking convention as closely as local information allows.
+type SSSPResult struct {
+	Source int
+	Dist   []int64 // weighted distance, Infinity if unreachable
+	Hops   []int   // hop count of the selected shortest path
+	Parent []int   // predecessor on the selected path, -1 at source/unreachable
+}
+
+type pqItem struct {
+	node int
+	dist int64
+	hops int
+}
+
+type pq []pqItem
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].dist != p[j].dist {
+		return p[i].dist < p[j].dist
+	}
+	if p[i].hops != p[j].hops {
+		return p[i].hops < p[j].hops
+	}
+	return p[i].node < p[j].node
+}
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+// Dijkstra computes weighted shortest paths from src with (weight, hops,
+// predecessor) tie-breaking.
+func (g *Graph) Dijkstra(src int) *SSSPResult {
+	res := &SSSPResult{
+		Source: src,
+		Dist:   make([]int64, g.n),
+		Hops:   make([]int, g.n),
+		Parent: make([]int, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Infinity
+		res.Hops[i] = 1 << 30
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	res.Hops[src] = 0
+	q := pq{{node: src}}
+	done := make([]bool, g.n)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, h := range g.adj[u] {
+			nd, nh := it.dist+h.Weight, it.hops+1
+			v := h.To
+			better := nd < res.Dist[v] ||
+				(nd == res.Dist[v] && nh < res.Hops[v]) ||
+				(nd == res.Dist[v] && nh == res.Hops[v] && res.Parent[v] > u)
+			if better {
+				res.Dist[v] = nd
+				res.Hops[v] = nh
+				res.Parent[v] = u
+				heap.Push(&q, pqItem{node: v, dist: nd, hops: nh})
+			}
+		}
+	}
+	for i := range res.Dist {
+		if res.Dist[i] == Infinity {
+			res.Hops[i] = -1
+		}
+	}
+	return res
+}
+
+// Path reconstructs the selected shortest path from the source to v as a
+// node sequence, or nil if v is unreachable.
+func (r *SSSPResult) Path(v int) []int {
+	if r.Dist[v] == Infinity {
+		return nil
+	}
+	var rev []int
+	for x := v; x != -1; x = r.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// WeightedDiameter returns WD = max over connected pairs of wd(u, v).
+func (g *Graph) WeightedDiameter() int64 {
+	var wd int64
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.Dijkstra(v).Dist {
+			if d != Infinity && d > wd {
+				wd = d
+			}
+		}
+	}
+	return wd
+}
+
+// ShortestPathDiameter returns the paper's s: the maximum over connected
+// pairs (u, v) of the minimum hop count among all minimum-weight u-v paths.
+// It is the natural round bound for distributed Bellman-Ford.
+func (g *Graph) ShortestPathDiameter() int {
+	s := 0
+	for v := 0; v < g.n; v++ {
+		res := g.minHopSSSP(v)
+		for u := 0; u < g.n; u++ {
+			if res.Dist[u] != Infinity && res.Hops[u] > s {
+				s = res.Hops[u]
+			}
+		}
+	}
+	return s
+}
+
+// minHopSSSP is Dijkstra minimizing (dist, hops); unlike Dijkstra it has no
+// predecessor tie-break, so Hops is exactly the minimum hop count over all
+// shortest paths.
+func (g *Graph) minHopSSSP(src int) *SSSPResult {
+	res := &SSSPResult{
+		Source: src,
+		Dist:   make([]int64, g.n),
+		Hops:   make([]int, g.n),
+		Parent: make([]int, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Infinity
+		res.Hops[i] = 1 << 30
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	res.Hops[src] = 0
+	q := pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if it.dist > res.Dist[u] || (it.dist == res.Dist[u] && it.hops > res.Hops[u]) {
+			continue
+		}
+		for _, h := range g.adj[u] {
+			nd, nh := it.dist+h.Weight, it.hops+1
+			v := h.To
+			if nd < res.Dist[v] || (nd == res.Dist[v] && nh < res.Hops[v]) {
+				res.Dist[v] = nd
+				res.Hops[v] = nh
+				res.Parent[v] = u
+				heap.Push(&q, pqItem{node: v, dist: nd, hops: nh})
+			}
+		}
+	}
+	return res
+}
+
+// Components returns the connected components as a label per node plus the
+// component count.
+func (g *Graph) Components() ([]int, int) {
+	label := make([]int, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	count := 0
+	for v := 0; v < g.n; v++ {
+		if label[v] != -1 {
+			continue
+		}
+		stack := []int{v}
+		label[v] = count
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.adj[u] {
+				if label[h.To] == -1 {
+					label[h.To] = count
+					stack = append(stack, h.To)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// Connected reports whether g is connected (vacuously true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, c := g.Components()
+	return c == 1
+}

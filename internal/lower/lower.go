@@ -1,0 +1,185 @@
+// Package lower builds the Section 3 lower-bound gadgets: the Set
+// Disjointness reductions of Figure 1 that force any correct Steiner Forest
+// algorithm to move Ω(n) bits across the Alice-Bob cut, giving the Ω(t) and
+// Ω(k) round lower bounds of Lemmas 3.1 and 3.3.
+//
+// Experiment F1 instruments the cut edges with the simulator's per-edge bit
+// counters and shows the measured traffic growing linearly in the universe
+// size, the empirical face of the communication-complexity argument.
+package lower
+
+import (
+	"fmt"
+	"math/rand"
+
+	"steinerforest/internal/graph"
+	"steinerforest/internal/steiner"
+)
+
+// Disjointness is a Set Disjointness input: two subsets of {0, ..., N-1}.
+type Disjointness struct {
+	N    int
+	A, B map[int]bool
+}
+
+// RandomDisjointness draws an instance with |A|,|B| ≈ N/2 that is
+// intersecting or disjoint as requested (the hard instances have at most
+// one common element).
+func RandomDisjointness(n int, intersect bool, rng *rand.Rand) Disjointness {
+	d := Disjointness{N: n, A: make(map[int]bool), B: make(map[int]bool)}
+	perm := rng.Perm(n)
+	half := n / 2
+	for _, i := range perm[:half] {
+		d.A[i] = true
+	}
+	for _, i := range rng.Perm(n)[:half] {
+		d.B[i] = true
+	}
+	// Enforce the promise.
+	for i := range d.A {
+		if d.B[i] {
+			delete(d.B, i)
+		}
+	}
+	if intersect {
+		common := perm[0]
+		d.A[common] = true
+		d.B[common] = true
+	}
+	return d
+}
+
+// Intersects reports whether A and B share an element.
+func (d Disjointness) Intersects() bool {
+	for i := range d.A {
+		if d.B[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// CRGadget is the Figure 1 (left) construction reducing Set Disjointness to
+// DSF-CR: Alice's star pair, Bob's star pair, four cut edges of which two
+// are "heavy", and connection requests a_i <-> b_i for the set members.
+type CRGadget struct {
+	Instance *steiner.Instance
+	CutEdges []int // the four E_AB edge indices
+	Heavy    []int // the two heavy edge indices (a0-b0, a-1 - b-1)
+	HeavyW   int64
+	Aside    map[string]int // node name -> id, for tests and demos
+}
+
+// BuildCR constructs the DSF-CR gadget for the given Set Disjointness input
+// and approximation-ratio budget rho (the heavy edges weigh ρ(2n+2)+1).
+// The returned DSF-IC instance is the Lemma 2.3 image of the request sets.
+func BuildCR(d Disjointness, rho int64) *CRGadget {
+	n := d.N
+	// Layout: aMinus=0, a0=1, a_i = 2+i; bMinus, b0, b_i follow.
+	aMinus, a0 := 0, 1
+	ai := func(i int) int { return 2 + i }
+	base := 2 + n
+	bMinus, b0 := base, base+1
+	bi := func(i int) int { return base + 2 + i }
+	g := graph.New(2 * (n + 2))
+
+	for i := 0; i < n; i++ {
+		if d.A[i] {
+			g.AddEdge(a0, ai(i), 1)
+		} else {
+			g.AddEdge(aMinus, ai(i), 1)
+		}
+		if d.B[i] {
+			g.AddEdge(b0, bi(i), 1)
+		} else {
+			g.AddEdge(bMinus, bi(i), 1)
+		}
+	}
+	heavyW := rho*int64(2*n+2) + 1
+	cut := []int{
+		g.AddEdge(a0, b0, heavyW),
+		g.AddEdge(aMinus, bMinus, heavyW),
+		g.AddEdge(a0, bMinus, 1),
+		g.AddEdge(aMinus, b0, 1),
+	}
+	req := steiner.NewRequests(g)
+	for i := 0; i < n; i++ {
+		if d.A[i] {
+			req.Add(ai(i), bi(i))
+		}
+		if d.B[i] {
+			req.Add(bi(i), ai(i))
+		}
+	}
+	return &CRGadget{
+		Instance: req.ToInstance(),
+		CutEdges: cut,
+		Heavy:    cut[:2],
+		HeavyW:   heavyW,
+		Aside:    map[string]int{"a-1": aMinus, "a0": a0, "b-1": bMinus, "b0": b0},
+	}
+}
+
+// UsesHeavyEdge decodes the Set Disjointness answer from a solution: the
+// sets intersect iff the solution needs a heavy edge.
+func (cr *CRGadget) UsesHeavyEdge(sol *steiner.Solution) bool {
+	for _, e := range cr.Heavy {
+		if sol.Contains(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ICGadget is the Figure 1 (right) construction reducing Set Disjointness
+// to DSF-IC: two stars joined by the single edge (a0, b0); leaf a_i and b_i
+// share input component i exactly when i ∈ A ∩ B.
+type ICGadget struct {
+	Instance *steiner.Instance
+	Bridge   int // edge index of (a0, b0), the Alice-Bob cut
+}
+
+// BuildIC constructs the DSF-IC gadget.
+func BuildIC(d Disjointness) *ICGadget {
+	n := d.N
+	a0 := 0
+	ai := func(i int) int { return 1 + i }
+	b0 := n + 1
+	bi := func(i int) int { return n + 2 + i }
+	g := graph.New(2 * (n + 1))
+	for i := 0; i < n; i++ {
+		g.AddEdge(a0, ai(i), 1)
+		g.AddEdge(b0, bi(i), 1)
+	}
+	bridge := g.AddEdge(a0, b0, 1)
+	ins := steiner.NewInstance(g)
+	for i := 0; i < n; i++ {
+		// Labels only matter when shared; singleton components are
+		// minimalized away by every solver (Lemma 2.4).
+		if d.A[i] {
+			ins.SetComponent(i, ai(i))
+		}
+		if d.B[i] {
+			ins.SetComponent(i, bi(i))
+		}
+	}
+	return &ICGadget{Instance: ins, Bridge: bridge}
+}
+
+// UsesBridge decodes the answer: A ∩ B ≠ ∅ iff the bridge is selected.
+func (ic *ICGadget) UsesBridge(sol *steiner.Solution) bool {
+	return sol.Contains(ic.Bridge)
+}
+
+// CutBits sums the measured traffic over the given edge indices from a
+// per-edge bit trace (congest.Stats.EdgeBits).
+func CutBits(edgeBits []int64, edges []int) (int64, error) {
+	var sum int64
+	for _, e := range edges {
+		if e < 0 || e >= len(edgeBits) {
+			return 0, fmt.Errorf("lower: edge index %d outside trace of %d", e, len(edgeBits))
+		}
+		sum += edgeBits[e]
+	}
+	return sum, nil
+}

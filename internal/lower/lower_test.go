@@ -1,0 +1,111 @@
+package lower
+
+import (
+	"math/rand"
+	"testing"
+
+	"steinerforest/internal/congest"
+	"steinerforest/internal/detforest"
+	"steinerforest/internal/moat"
+	"steinerforest/internal/steiner"
+)
+
+func TestRandomDisjointnessPromise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		d := RandomDisjointness(12, trial%2 == 0, rng)
+		if got := d.Intersects(); got != (trial%2 == 0) {
+			t.Fatalf("trial %d: intersects = %v", trial, got)
+		}
+	}
+}
+
+func TestICGadgetDecodesDisjointness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 8; trial++ {
+		intersect := trial%2 == 0
+		d := RandomDisjointness(8, intersect, rng)
+		ic := BuildIC(d)
+		res, err := moat.SolveAKR(ic.Instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ic.UsesBridge(res.Pruned); got != intersect {
+			t.Fatalf("trial %d: bridge=%v, want %v", trial, got, intersect)
+		}
+	}
+}
+
+func TestICGadgetDistributedDecodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, intersect := range []bool{true, false} {
+		d := RandomDisjointness(6, intersect, rng)
+		ic := BuildIC(d)
+		res, err := detforest.Solve(ic.Instance, congest.WithEdgeTracking())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ic.UsesBridge(res.Solution); got != intersect {
+			t.Fatalf("bridge=%v, want %v", got, intersect)
+		}
+		bits, err := CutBits(res.Stats.EdgeBits, []int{ic.Bridge})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits == 0 {
+			t.Error("no traffic crossed the cut; gadget not exercised")
+		}
+	}
+}
+
+func TestCRGadgetDecodesDisjointness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		intersect := trial%2 == 0
+		d := RandomDisjointness(7, intersect, rng)
+		cr := BuildCR(d, 2)
+		res, err := moat.SolveAKR(cr.Instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := steiner.Verify(cr.Instance.Minimalize(), res.Pruned); err != nil {
+			t.Fatal(err)
+		}
+		if got := cr.UsesHeavyEdge(res.Pruned); got != intersect {
+			t.Fatalf("trial %d: heavy=%v, want %v", trial, got, intersect)
+		}
+	}
+}
+
+func TestCutBitsGrowWithN(t *testing.T) {
+	// The empirical Ω(k) claim: traffic over the bridge grows with the
+	// universe size.
+	rng := rand.New(rand.NewSource(5))
+	var prev int64
+	for _, n := range []int{4, 8, 16} {
+		d := RandomDisjointness(n, false, rng)
+		ic := BuildIC(d)
+		res, err := detforest.Solve(ic.Instance, congest.WithEdgeTracking())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits, err := CutBits(res.Stats.EdgeBits, []int{ic.Bridge})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits <= prev {
+			t.Fatalf("cut bits did not grow: n=%d bits=%d prev=%d", n, bits, prev)
+		}
+		prev = bits
+	}
+}
+
+func TestCutBitsRange(t *testing.T) {
+	if _, err := CutBits([]int64{1, 2}, []int{5}); err == nil {
+		t.Fatal("expected range error")
+	}
+	got, err := CutBits([]int64{1, 2, 3}, []int{0, 2})
+	if err != nil || got != 4 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}

@@ -1,0 +1,144 @@
+package moat
+
+import "steinerforest/internal/graph"
+
+// Book is the moat bookkeeping of Algorithm 1 over terminal indices: which
+// terminals share a moat, each moat's (merged) component label, and each
+// moat's activity status. The centralized solver drives one instance; in
+// the distributed algorithm every node drives an identical replica from the
+// globally known merge stream, which is how Section 4.1's nodes "locally
+// compute" activity statuses.
+type Book struct {
+	moats      *graph.UnionFind
+	labels     *graph.UnionFind // label aliasing, keyed by terminal index handles
+	lblOf      []int            // terminal index -> its label's canonical handle
+	active     map[int]bool     // moat root -> active
+	labelMoats map[int]int      // canonical label handle -> #moats holding it
+	rounded    bool             // Algorithm 2: merges never deactivate
+}
+
+// NewBook initializes the bookkeeping for terminals with the given input
+// component labels (one entry per terminal, already minimalized: every
+// label occurs at least twice).
+func NewBook(labels []int) *Book {
+	n := len(labels)
+	b := &Book{
+		moats:      graph.NewUnionFind(n),
+		labels:     graph.NewUnionFind(n),
+		lblOf:      make([]int, n),
+		active:     make(map[int]bool, n),
+		labelMoats: make(map[int]int),
+	}
+	firstOf := make(map[int]int)
+	for i, l := range labels {
+		if f, ok := firstOf[l]; ok {
+			b.lblOf[i] = f
+		} else {
+			firstOf[l] = i
+			b.lblOf[i] = i
+		}
+	}
+	for i := range labels {
+		b.active[i] = true
+		b.labelMoats[b.labels.Find(b.lblOf[i])]++
+	}
+	return b
+}
+
+// SetRounded switches to Algorithm 2 semantics: merged moats stay active
+// until RecheckActivity.
+func (b *Book) SetRounded() { b.rounded = true }
+
+// Active reports whether terminal i's moat is active.
+func (b *Book) Active(i int) bool { return b.active[b.moats.Find(i)] }
+
+// AnyActive reports whether any moat is active.
+func (b *Book) AnyActive() bool {
+	for i := range b.lblOf {
+		if b.Active(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveCount returns the number of active moats.
+func (b *Book) ActiveCount() int {
+	seen := make(map[int]bool)
+	n := 0
+	for i := range b.lblOf {
+		r := b.moats.Find(i)
+		if !seen[r] {
+			seen[r] = true
+			if b.active[r] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SameMoat reports whether terminals i and j share a moat.
+func (b *Book) SameMoat(i, j int) bool { return b.moats.Connected(i, j) }
+
+// MoatOf returns the canonical moat handle of terminal i.
+func (b *Book) MoatOf(i int) int { return b.moats.Find(i) }
+
+// Merge joins the moats of terminals i and j per Algorithm 1 lines 20-33
+// (or Algorithm 2 lines 31-39 in rounded mode) and reports whether any
+// terminal's activity status changed, i.e. whether this merge ends a merge
+// phase (Definition 4.3).
+func (b *Book) Merge(i, j int) bool {
+	ri, rj := b.moats.Find(i), b.moats.Find(j)
+	if ri == rj {
+		return false
+	}
+	wasI, wasJ := b.active[ri], b.active[rj]
+	li, lj := b.labels.Find(b.lblOf[i]), b.labels.Find(b.lblOf[j])
+	var count int
+	if li == lj {
+		count = b.labelMoats[li] - 1
+	} else {
+		count = b.labelMoats[li] + b.labelMoats[lj] - 1
+		b.labels.Union(li, lj)
+		delete(b.labelMoats, li)
+		delete(b.labelMoats, lj)
+	}
+	b.moats.Union(ri, rj)
+	root := b.moats.Find(ri)
+	b.labelMoats[b.labels.Find(li)] = count
+	delete(b.active, ri)
+	delete(b.active, rj)
+	nowActive := count > 1 || b.rounded
+	b.active[root] = nowActive
+	return wasI != nowActive || wasJ != nowActive
+}
+
+// RecheckActivity recomputes every moat's status per Algorithm 2's
+// threshold check: active iff another moat shares its label.
+func (b *Book) RecheckActivity() {
+	for i := range b.lblOf {
+		r := b.moats.Find(i)
+		b.active[r] = b.labelMoats[b.labels.Find(b.lblOf[i])] > 1
+	}
+}
+
+// Clone returns an independent copy (used by stream filters that must
+// speculate ahead of the committed state).
+func (b *Book) Clone() *Book {
+	c := &Book{
+		moats:      b.moats.Clone(),
+		labels:     b.labels.Clone(),
+		lblOf:      append([]int(nil), b.lblOf...),
+		active:     make(map[int]bool, len(b.active)),
+		labelMoats: make(map[int]int, len(b.labelMoats)),
+		rounded:    b.rounded,
+	}
+	for k, v := range b.active {
+		c.active[k] = v
+	}
+	for k, v := range b.labelMoats {
+		c.labelMoats[k] = v
+	}
+	return c
+}

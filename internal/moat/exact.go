@@ -1,0 +1,123 @@
+package moat
+
+import (
+	"container/heap"
+	"fmt"
+
+	"steinerforest/internal/graph"
+)
+
+// maxExactTerminals bounds the Dreyfus–Wagner DP; 3^t·n work beyond this is
+// pointless for a test oracle.
+const maxExactTerminals = 14
+
+// ExactSteinerTree computes the optimal Steiner tree weight connecting the
+// given terminals using the Dreyfus–Wagner dynamic program (O(3^t·n +
+// 2^t·n log n)). It is the exact oracle for single-component instances in
+// the approximation-ratio experiments. Returns an error if the terminals
+// are disconnected or t exceeds maxExactTerminals.
+func ExactSteinerTree(g *graph.Graph, terminals []int) (int64, error) {
+	t := len(terminals)
+	if t <= 1 {
+		return 0, nil
+	}
+	if t > maxExactTerminals {
+		return 0, fmt.Errorf("moat: %d terminals exceed exact-solver limit %d", t, maxExactTerminals)
+	}
+	n := g.N()
+	dist := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		dist[v] = g.Dijkstra(v).Dist
+	}
+	for _, v := range terminals[1:] {
+		if dist[terminals[0]][v] == graph.Infinity {
+			return 0, ErrInfeasible
+		}
+	}
+
+	full := 1<<t - 1
+	dp := make([][]int64, full+1)
+	for mask := 1; mask <= full; mask++ {
+		dp[mask] = make([]int64, n)
+		for v := range dp[mask] {
+			dp[mask][v] = graph.Infinity
+		}
+	}
+	for i, term := range terminals {
+		copy(dp[1<<i], dist[term])
+	}
+	for mask := 1; mask <= full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue // singletons already initialized
+		}
+		// Combine split subtrees at each node.
+		low := mask & (-mask)
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&low == 0 {
+				continue // enumerate only splits keeping the lowest bit
+			}
+			rest := mask ^ sub
+			for v := 0; v < n; v++ {
+				if dp[sub][v] == graph.Infinity || dp[rest][v] == graph.Infinity {
+					continue
+				}
+				if s := dp[sub][v] + dp[rest][v]; s < dp[mask][v] {
+					dp[mask][v] = s
+				}
+			}
+		}
+		// Close under shortest-path moves (Dijkstra over dp[mask]).
+		closeUnderPaths(g, dp[mask])
+	}
+	best := graph.Infinity
+	for v := 0; v < n; v++ {
+		if dp[full][v] < best {
+			best = dp[full][v]
+		}
+	}
+	if best == graph.Infinity {
+		return 0, ErrInfeasible
+	}
+	return best, nil
+}
+
+// closeUnderPaths relaxes vals so vals[v] = min_u vals[u] + wd(u, v), using
+// a Dijkstra pass seeded with the current values.
+func closeUnderPaths(g *graph.Graph, vals []int64) {
+	q := &exactPQ{}
+	for v, d := range vals {
+		if d < graph.Infinity {
+			heap.Push(q, exactItem{v: v, d: d})
+		}
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(exactItem)
+		if it.d > vals[it.v] {
+			continue
+		}
+		for _, h := range g.Neighbors(it.v) {
+			if nd := it.d + h.Weight; nd < vals[h.To] {
+				vals[h.To] = nd
+				heap.Push(q, exactItem{v: h.To, d: nd})
+			}
+		}
+	}
+}
+
+type exactItem struct {
+	v int
+	d int64
+}
+
+type exactPQ []exactItem
+
+func (p exactPQ) Len() int            { return len(p) }
+func (p exactPQ) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p exactPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *exactPQ) Push(x interface{}) { *p = append(*p, x.(exactItem)) }
+func (p *exactPQ) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}

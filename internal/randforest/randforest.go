@@ -1,0 +1,385 @@
+// Package randforest implements the paper's randomized distributed Steiner
+// Forest algorithm (Section 5, Theorem 5.2): an O(log n)-approximation in
+// O~(k + min{s, √n} + D) rounds w.h.p.
+//
+// The first stage embeds the graph into a virtual tree ([14], built by
+// package embed) and then selects, per level i = 0..L, one representative
+// per (label, ancestor) pair: labels are routed up shortest-path trees with
+// per-(λ, destination) filtering and per-edge queueing (the round-robin
+// multiplexing that improves [14]'s O~(sk) second phase to O~(s+k)), and
+// each ancestor delegates all labels it gathered to a single descendant
+// (Steps 3b-3d of the detailed description).
+//
+// In truncated mode (the paper's s > √n regime) the virtual tree is cut at
+// the √n highest-rank nodes S, the selected edge set F leaves one connected
+// fragment per surviving "super-terminal" T_v, and a reduced instance over
+// those fragments is solved by the second stage (see stage2.go).
+//
+// ModeKhanBaseline reproduces the congestion behaviour of the original [14]
+// selection — labels processed sequentially with no cross-label
+// multiplexing — as the O~(sk) comparison baseline of experiment T4.
+package randforest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"steinerforest/internal/congest"
+	"steinerforest/internal/dist"
+	"steinerforest/internal/embed"
+	"steinerforest/internal/steiner"
+)
+
+// Mode selects the algorithm variant.
+type Mode int
+
+// Variants of the randomized algorithm.
+const (
+	// ModeFull runs the untruncated first stage (the s <= sqrt(n) path).
+	ModeFull Mode = iota + 1
+	// ModeTruncated cuts the virtual tree at S and runs the second stage.
+	ModeTruncated
+	// ModeKhanBaseline routes labels sequentially like [14] (O~(sk)).
+	ModeKhanBaseline
+)
+
+// Result is the outcome of a randomized run.
+type Result struct {
+	Solution *steiner.Solution
+	Stats    *congest.Stats
+	Levels   int // virtual-tree levels L+1
+}
+
+// Solve runs the randomized algorithm on ins in the given mode.
+func Solve(ins *steiner.Instance, mode Mode, opts ...congest.Option) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	work := ins.Minimalize()
+	out := &sharedOutput{selected: steiner.NewSolution(ins.G)}
+	var levels int
+	var once sync.Once
+	program := func(h *congest.Host) {
+		// Raw labels: singleton components are detected and dropped by the
+		// distributed label census (Step 3a / Lemma 2.4).
+		ns := &nodeState{h: h, label: ins.Label[h.ID()], mode: mode, out: out}
+		ns.run()
+		once.Do(func() { levels = ns.emb.L + 1 })
+	}
+	stats, err := congest.Run(ins.G, program, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := steiner.Verify(work, out.selected); err != nil {
+		return nil, fmt.Errorf("randforest: infeasible output: %w", err)
+	}
+	return &Result{Solution: out.selected, Stats: stats, Levels: levels}, nil
+}
+
+type sharedOutput struct {
+	mu       sync.Mutex
+	selected *steiner.Solution
+}
+
+func (o *sharedOutput) mark(edgeIndex int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.selected.Add(edgeIndex)
+}
+
+// labelItem announces that some node holds label lbl; the collection filter
+// keeps at most two per label, enough to detect singletons (Step 3a) and to
+// enumerate the global label set.
+type labelItem struct {
+	lbl  int
+	node int
+}
+
+func (m labelItem) Bits() int { return 2 * 24 }
+func (m labelItem) Less(o dist.Item) bool {
+	x := o.(labelItem)
+	if m.lbl != x.lbl {
+		return m.lbl < x.lbl
+	}
+	return m.node < x.node
+}
+
+// routeMsg carries label lbl toward virtual-tree destination dst (Step 3c).
+type routeMsg struct {
+	lbl int
+	dst int
+}
+
+func (m routeMsg) Bits() int { return 2 * 24 }
+
+// delegMsg backtraces one gathered label from an ancestor to its chosen
+// representative along the (key, dst) first-receipt chain (Step 3d).
+type delegMsg struct {
+	key int // the label whose forward chain is being retraced
+	dst int // the ancestor performing the delegation
+	lbl int // the delegated label
+}
+
+func (m delegMsg) Bits() int { return 3 * 24 }
+
+// tokenMsg walks up Voronoi trees during second-stage edge marking.
+type tokenMsg struct{}
+
+func (tokenMsg) Bits() int { return 2 }
+
+type nodeState struct {
+	h     *congest.Host
+	t     *dist.Tree
+	label int
+	mode  Mode
+	out   *sharedOutput
+
+	emb *embed.Embedding
+	inF map[int]bool // ports whose edges this node added to F
+
+	labels  []int       // global sorted label set
+	holders map[int]int // label -> number of holders (capped at 2)
+}
+
+func (ns *nodeState) run() {
+	h := ns.h
+	ns.t = dist.BuildBFS(h)
+	ns.emb = embed.Build(h, ns.t, embed.Options{Truncate: ns.mode == ModeTruncated})
+	ns.inF = make(map[int]bool)
+
+	// Global label census (2 witnesses per label), also the basis of the
+	// singleton deletions in every phase's Step 3a.
+	ns.collectLabels()
+
+	switch ns.mode {
+	case ModeKhanBaseline:
+		for _, lbl := range ns.labels {
+			mine := map[int]bool{}
+			if ns.label == lbl {
+				mine[lbl] = true
+			}
+			ns.stageOne(mine)
+		}
+	default:
+		mine := map[int]bool{}
+		if ns.label != steiner.NoLabel {
+			mine[ns.label] = true
+		}
+		ns.stageOne(mine)
+	}
+
+	if ns.mode == ModeTruncated {
+		ns.stageTwo()
+	}
+}
+
+// collectLabels learns the global label set with at most two witnesses per
+// label (O(k + D) rounds).
+func (ns *nodeState) collectLabels() {
+	var local []dist.Item
+	if ns.label != steiner.NoLabel {
+		local = append(local, labelItem{lbl: ns.label, node: ns.h.ID()})
+	}
+	newFilter := func() dist.Filter {
+		count := map[int]int{}
+		return func(x dist.Item) bool {
+			l := x.(labelItem).lbl
+			if count[l] >= 2 {
+				return false
+			}
+			count[l]++
+			return true
+		}
+	}
+	got := dist.UpcastBroadcast(ns.h, ns.t, local, newFilter, nil)
+	ns.holders = make(map[int]int)
+	for _, x := range got {
+		li := x.(labelItem)
+		ns.holders[li.lbl]++
+	}
+	ns.labels = make([]int, 0, len(ns.holders))
+	for l := range ns.holders {
+		ns.labels = append(ns.labels, l)
+	}
+	sort.Ints(ns.labels)
+}
+
+// stageOne runs the level phases of the first stage with the given initial
+// label set and marks all traversed edges into F.
+func (ns *nodeState) stageOne(l map[int]bool) {
+	h := ns.h
+	for i := 0; i <= ns.emb.L; i++ {
+		// Step 3a: drop labels held by a single node.
+		var local []dist.Item
+		for lbl := range l {
+			local = append(local, labelItem{lbl: lbl, node: h.ID()})
+		}
+		newFilter := func() dist.Filter {
+			count := map[int]int{}
+			return func(x dist.Item) bool {
+				lbl := x.(labelItem).lbl
+				if count[lbl] >= 2 {
+					return false
+				}
+				count[lbl]++
+				return true
+			}
+		}
+		got := dist.UpcastBroadcast(h, ns.t, local, newFilter, nil)
+		seen := map[int]int{}
+		for _, x := range got {
+			seen[x.(labelItem).lbl]++
+		}
+		anyLive := false
+		for lbl, c := range seen {
+			if c == 1 {
+				delete(l, lbl)
+			} else {
+				anyLive = true
+			}
+		}
+		if !anyLive {
+			return // every label satisfied; all nodes agree and exit together
+		}
+
+		// Step 3b: aim each held label at the level-i ancestor.
+		anc, _ := ns.emb.Ancestor(i)
+		type chainKey struct{ lbl, dst int }
+		firstFrom := map[chainKey]int{} // first-receipt port per chain
+		originated := map[chainKey]bool{}
+		gathered := map[int]bool{} // l̂: labels gathered here as ancestor
+		var gatherOrder []chainKey // self chains arriving here, in order
+		queues := map[int][]congest.Message{}
+		push := func(port int, m congest.Message) { queues[port] = append(queues[port], m) }
+
+		for lbl := range l {
+			key := chainKey{lbl: lbl, dst: anc.Node}
+			originated[key] = true
+			if anc.Node == h.ID() {
+				if !gathered[lbl] {
+					gathered[lbl] = true
+					gatherOrder = append(gatherOrder, key)
+				}
+				continue
+			}
+			push(ns.routePort(anc.Node, anc.NextHop), routeMsg{lbl: lbl, dst: anc.Node})
+		}
+
+		// Step 3c: route with per-chain dedup until quiescence.
+		handled := map[chainKey]bool{}
+		for k := range originated {
+			handled[k] = true
+		}
+		step := func(r int, in []congest.Recv) ([]congest.Send, bool) {
+			for _, rc := range in {
+				m, ok := rc.Msg.(routeMsg)
+				if !ok {
+					continue
+				}
+				// The edge was traversed, so both endpoints record it in F.
+				ns.markPort(rc.Port)
+				key := chainKey{lbl: m.lbl, dst: m.dst}
+				if _, dup := firstFrom[key]; dup || handled[key] {
+					continue
+				}
+				firstFrom[key] = rc.Port
+				if m.dst == h.ID() {
+					if !gathered[m.lbl] {
+						gathered[m.lbl] = true
+						gatherOrder = append(gatherOrder, key)
+					}
+					continue
+				}
+				push(ns.routePort(m.dst, -2), m)
+			}
+			var out []congest.Send
+			for p, q := range queues {
+				if len(q) == 0 {
+					continue
+				}
+				out = append(out, congest.Send{Port: p, Msg: q[0]})
+				queues[p] = q[1:]
+				ns.markPort(p)
+			}
+			return out, len(out) > 0
+		}
+		dist.RunQuiet(h, ns.t, step)
+
+		// Step 3d: each ancestor delegates its gathered labels to the
+		// originator of the first chain that reached it.
+		next := map[int]bool{}
+		if len(gatherOrder) > 0 {
+			pick := gatherOrder[0]
+			if originated[pick] {
+				for lbl := range gathered {
+					next[lbl] = true
+				}
+			} else {
+				back := firstFrom[pick]
+				for lbl := range gathered {
+					push(back, delegMsg{key: pick.lbl, dst: pick.dst, lbl: lbl})
+				}
+			}
+		}
+		stepBack := func(r int, in []congest.Recv) ([]congest.Send, bool) {
+			for _, rc := range in {
+				m, ok := rc.Msg.(delegMsg)
+				if !ok {
+					continue
+				}
+				key := chainKey{lbl: m.key, dst: m.dst}
+				if originated[key] {
+					next[m.lbl] = true
+					continue
+				}
+				back, ok2 := firstFrom[key]
+				if !ok2 {
+					panic("randforest: delegation chain broken")
+				}
+				push(back, m)
+			}
+			var out []congest.Send
+			for p, q := range queues {
+				if len(q) == 0 {
+					continue
+				}
+				out = append(out, congest.Send{Port: p, Msg: q[0]})
+				queues[p] = q[1:]
+			}
+			return out, len(out) > 0
+		}
+		dist.RunQuiet(h, ns.t, stepBack)
+		l = next
+	}
+}
+
+// routePort resolves the forwarding port toward dst: members of S route via
+// the Bellman-Ford tree toward their nearest S node (whose region contains
+// the whole chain), everything else via the LE-list next hop. fallback is
+// used when the caller already knows the port (ancestor entries).
+func (ns *nodeState) routePort(dst int, fallback int) int {
+	if ns.emb.Truncated && ns.inSSet(dst) {
+		return ns.emb.PortS
+	}
+	if p, ok := ns.emb.NextHop[dst]; ok && p >= 0 {
+		return p
+	}
+	if fallback >= 0 {
+		return fallback
+	}
+	panic(fmt.Sprintf("randforest: node %d has no route to %d", ns.h.ID(), dst))
+}
+
+func (ns *nodeState) inSSet(node int) bool {
+	i := sort.SearchInts(ns.emb.S, node)
+	return i < len(ns.emb.S) && ns.emb.S[i] == node
+}
+
+// markPort records that the edge at port p belongs to F.
+func (ns *nodeState) markPort(p int) {
+	if !ns.inF[p] {
+		ns.inF[p] = true
+		ns.out.mark(ns.h.EdgeIndex(p))
+	}
+}

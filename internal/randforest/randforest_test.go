@@ -1,0 +1,165 @@
+package randforest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"steinerforest/internal/congest"
+	"steinerforest/internal/graph"
+	"steinerforest/internal/moat"
+	"steinerforest/internal/steiner"
+)
+
+func randomInstance(rng *rand.Rand, n, k int, maxW int64) *steiner.Instance {
+	g := graph.GNP(n, 0.2, graph.RandomWeights(rng, maxW), rng)
+	ins := steiner.NewInstance(g)
+	perm := rng.Perm(n)
+	idx := 0
+	for c := 0; c < k && idx+1 < n; c++ {
+		size := 2 + rng.Intn(3)
+		for j := 0; j < size && idx < n; j++ {
+			ins.SetComponent(c, perm[idx])
+			idx++
+		}
+	}
+	return ins
+}
+
+func TestFullModeTwoTerminals(t *testing.T) {
+	g := graph.Path(6, graph.UnitWeights)
+	ins := steiner.NewInstance(g)
+	ins.SetComponent(0, 0, 5)
+	res, err := Solve(ins, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := steiner.Verify(ins, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	if w := res.Solution.Weight(g); w != 5 {
+		t.Errorf("weight = %d, want 5 (unique solution)", w)
+	}
+}
+
+func TestFullModeFeasibleAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		n := 10 + rng.Intn(20)
+		k := 1 + rng.Intn(3)
+		ins := randomInstance(rng, n, k, 40)
+		res, err := Solve(ins, ModeFull, congest.WithSeed(int64(trial+1)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		work := ins.Minimalize()
+		if err := steiner.Verify(work, res.Solution); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// O(log n) approximation against the certified dual lower bound,
+		// with a conservative constant.
+		oracle, err := moat.SolveAKR(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracle.DualSum.IsZero() {
+			continue
+		}
+		ratio := float64(res.Solution.Weight(ins.G)) / oracle.DualSum.Float()
+		if limit := 8 * math.Log2(float64(n)+2); ratio > limit {
+			t.Fatalf("trial %d: ratio %.2f exceeds %.2f (n=%d)", trial, ratio, limit, n)
+		}
+	}
+}
+
+func TestTruncatedModeFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		n := 12 + rng.Intn(20)
+		k := 1 + rng.Intn(3)
+		ins := randomInstance(rng, n, k, 30)
+		res, err := Solve(ins, ModeTruncated, congest.WithSeed(int64(trial+7)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		work := ins.Minimalize()
+		if err := steiner.Verify(work, res.Solution); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestTruncatedOnHighDiameterGraph(t *testing.T) {
+	// The regime the truncation is made for: s far above sqrt(n).
+	g := graph.Lollipop(8, 40, graph.UnitWeights)
+	ins := steiner.NewInstance(g)
+	ins.SetComponent(0, 0, g.N()-1)
+	ins.SetComponent(1, 3, g.N()-5)
+	res, err := Solve(ins, ModeTruncated, congest.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := steiner.Verify(ins, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKhanBaselineFeasibleAndSlower(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := graph.GNP(30, 0.12, graph.RandomWeights(rng, 20), rng)
+	ins := steiner.NewInstance(g)
+	perm := rng.Perm(30)
+	for c := 0; c < 5; c++ {
+		ins.SetComponent(c, perm[2*c], perm[2*c+1])
+	}
+	ours, err := Solve(ins, ModeFull, congest.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	khan, err := Solve(ins, ModeKhanBaseline, congest.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := steiner.Verify(ins, khan.Solution); err != nil {
+		t.Fatal(err)
+	}
+	// The baseline repeats the per-label work k times; it must cost
+	// strictly more rounds on a multi-component instance.
+	if khan.Stats.Rounds <= ours.Stats.Rounds {
+		t.Errorf("khan rounds %d <= ours %d; baseline should be slower",
+			khan.Stats.Rounds, ours.Stats.Rounds)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	ins := steiner.NewInstance(graph.Grid(3, 3, graph.UnitWeights))
+	res, err := Solve(ins, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Size() != 0 {
+		t.Errorf("size = %d", res.Solution.Size())
+	}
+}
+
+func TestSeedsGiveDifferentEmbeddingsSameFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ins := randomInstance(rng, 20, 2, 25)
+	work := ins.Minimalize()
+	weights := map[int64]bool{}
+	for seed := int64(1); seed <= 4; seed++ {
+		res, err := Solve(ins, ModeFull, congest.WithSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := steiner.Verify(work, res.Solution); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		weights[res.Solution.Weight(ins.G)] = true
+	}
+	// Different random embeddings normally give different forests; at the
+	// very least the runs must all be feasible (checked above).
+	if len(weights) == 0 {
+		t.Fatal("no runs recorded")
+	}
+}

@@ -1,0 +1,252 @@
+// Package rational implements exact dyadic rational arithmetic.
+//
+// Moat-growing (Agrawal–Klein–Ravi, and Section 4 of Lenzen & Patt-Shamir,
+// PODC 2014) produces radii that are not integers: when two active moats
+// meet, each grows by half of the remaining gap, and such halvings can
+// compound across merge phases. Floating point would make the distributed
+// emulation diverge from the centralized oracle on close events, so all
+// radii, reduced weights and candidate-merge weights are represented as
+// exact fractions n/d with d a power of two.
+//
+// The representation is intentionally narrow: int64 numerator, power-of-two
+// int64 denominator. Operations panic on overflow or when a denominator
+// would exceed 2^40; both indicate an instance outside the supported
+// parameter range (weights up to 2^20, a few dozen merge phases), not a
+// recoverable condition.
+package rational
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+)
+
+// maxDen is the largest permitted denominator. Radii denominators grow by
+// one bit per activity-changing merge phase; the paper bounds those by 2k,
+// so 2^40 supports k ≈ 40 with full exactness and far larger k in practice
+// (halvings normalize away whenever numerators are even).
+const maxDen = int64(1) << 40
+
+// Q is an exact rational with a power-of-two denominator. The zero value is
+// the number 0. Values are immutable; all methods return new values.
+type Q struct {
+	n int64 // numerator
+	d int64 // denominator; power of two, >= 1
+}
+
+// FromInt returns x as a Q.
+func FromInt(x int64) Q { return Q{n: x, d: 1} }
+
+// FromHalves returns x/2 as a Q. It is the natural constructor for
+// candidate-merge weights, which the paper notes satisfy 2Ŵ ∈ ℕ₀.
+func FromHalves(x int64) Q { return normalize(x, 2) }
+
+// New returns num/den. den must be a positive power of two.
+func New(num, den int64) Q {
+	if den <= 0 || den&(den-1) != 0 {
+		panic(fmt.Sprintf("rational: denominator %d is not a positive power of two", den))
+	}
+	return normalize(num, den)
+}
+
+func normalize(n, d int64) Q {
+	for d > 1 && n&1 == 0 {
+		n >>= 1
+		d >>= 1
+	}
+	return Q{n: n, d: d}
+}
+
+// Num returns the numerator of q in lowest (power-of-two) terms.
+func (q Q) Num() int64 { return q.n }
+
+// Den returns the denominator of q in lowest terms (1 for the zero value).
+func (q Q) Den() int64 {
+	if q.d == 0 {
+		return 1
+	}
+	return q.d
+}
+
+func (q Q) norm() Q {
+	if q.d == 0 {
+		return Q{n: q.n, d: 1}
+	}
+	return q
+}
+
+func checkedMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic("rational: multiplication overflow")
+	}
+	return p
+}
+
+func checkedAdd(a, b int64) int64 {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		panic("rational: addition overflow")
+	}
+	return s
+}
+
+// Add returns q + r.
+func (q Q) Add(r Q) Q {
+	q, r = q.norm(), r.norm()
+	d := q.d
+	if r.d > d {
+		d = r.d
+	}
+	if d > maxDen {
+		panic("rational: denominator exceeds supported precision")
+	}
+	return normalize(checkedAdd(checkedMul(q.n, d/q.d), checkedMul(r.n, d/r.d)), d)
+}
+
+// Sub returns q - r.
+func (q Q) Sub(r Q) Q { return q.Add(r.Neg()) }
+
+// Neg returns -q.
+func (q Q) Neg() Q { q = q.norm(); return Q{n: -q.n, d: q.d} }
+
+// Half returns q/2.
+func (q Q) Half() Q {
+	q = q.norm()
+	if q.n&1 == 0 {
+		return Q{n: q.n >> 1, d: q.d}
+	}
+	if q.d*2 > maxDen {
+		panic("rational: halving exceeds supported precision")
+	}
+	return Q{n: q.n, d: q.d * 2}
+}
+
+// Double returns 2q.
+func (q Q) Double() Q { return q.Add(q) }
+
+// MulInt returns q * x.
+func (q Q) MulInt(x int64) Q {
+	q = q.norm()
+	return normalize(checkedMul(q.n, x), q.d)
+}
+
+// Cmp compares q and r, returning -1, 0 or +1.
+func (q Q) Cmp(r Q) int {
+	q, r = q.norm(), r.norm()
+	// Cross-multiply on the common denominator; both scalings are exact
+	// powers of two bounded by maxDen, so overflow checks suffice.
+	d := q.d
+	if r.d > d {
+		d = r.d
+	}
+	a := checkedMul(q.n, d/q.d)
+	b := checkedMul(r.n, d/r.d)
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether q < r.
+func (q Q) Less(r Q) bool { return q.Cmp(r) < 0 }
+
+// LessEq reports whether q <= r.
+func (q Q) LessEq(r Q) bool { return q.Cmp(r) <= 0 }
+
+// Sign returns -1, 0 or +1 according to the sign of q.
+func (q Q) Sign() int {
+	switch {
+	case q.n < 0:
+		return -1
+	case q.n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether q == 0.
+func (q Q) IsZero() bool { return q.n == 0 }
+
+// IsInt reports whether q is an integer.
+func (q Q) IsInt() bool { return q.norm().d == 1 }
+
+// Int returns the integer value of q; it panics if q is not an integer.
+func (q Q) Int() int64 {
+	q = q.norm()
+	if q.d != 1 {
+		panic("rational: " + q.String() + " is not an integer")
+	}
+	return q.n
+}
+
+// Floor returns the largest integer not greater than q.
+func (q Q) Floor() int64 {
+	q = q.norm()
+	if q.n >= 0 {
+		return q.n / q.d
+	}
+	return -((-q.n + q.d - 1) / q.d)
+}
+
+// Ceil returns the smallest integer not less than q.
+func (q Q) Ceil() int64 { return -q.Neg().Floor() }
+
+// Min returns the smaller of q and r.
+func Min(q, r Q) Q {
+	if r.Less(q) {
+		return r
+	}
+	return q
+}
+
+// Max returns the larger of q and r.
+func Max(q, r Q) Q {
+	if q.Less(r) {
+		return r.norm()
+	}
+	return q.norm()
+}
+
+// Clamp returns q restricted to the interval [lo, hi].
+func Clamp(q, lo, hi Q) Q {
+	if q.Less(lo) {
+		return lo.norm()
+	}
+	if hi.Less(q) {
+		return hi.norm()
+	}
+	return q.norm()
+}
+
+// Float returns a float64 approximation of q (for reporting only).
+func (q Q) Float() float64 { q = q.norm(); return float64(q.n) / float64(q.d) }
+
+// Bits returns an upper bound on the number of bits needed to encode q
+// (numerator plus the log of the denominator). Used for CONGEST message
+// size accounting.
+func (q Q) Bits() int {
+	q = q.norm()
+	n := q.n
+	if n < 0 {
+		n = -n
+	}
+	return bits.Len64(uint64(n)) + 1 + bits.Len64(uint64(q.d))
+}
+
+// String renders q as "a" or "a/b".
+func (q Q) String() string {
+	q = q.norm()
+	if q.d == 1 {
+		return strconv.FormatInt(q.n, 10)
+	}
+	return strconv.FormatInt(q.n, 10) + "/" + strconv.FormatInt(q.d, 10)
+}

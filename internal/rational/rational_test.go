@@ -1,0 +1,271 @@
+package rational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromInt(t *testing.T) {
+	tests := []struct {
+		name string
+		x    int64
+		want string
+	}{
+		{"zero", 0, "0"},
+		{"positive", 7, "7"},
+		{"negative", -3, "-3"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromInt(tt.x).String(); got != tt.want {
+				t.Errorf("FromInt(%d) = %s, want %s", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFromHalves(t *testing.T) {
+	tests := []struct {
+		name string
+		x    int64
+		want string
+	}{
+		{"even halves normalize", 4, "2"},
+		{"odd halves stay fractional", 5, "5/2"},
+		{"negative odd", -3, "-3/2"},
+		{"zero", 0, "0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromHalves(tt.x).String(); got != tt.want {
+				t.Errorf("FromHalves(%d) = %s, want %s", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewValidatesDenominator(t *testing.T) {
+	for _, den := range []int64{0, -1, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(1, %d) did not panic", den)
+				}
+			}()
+			New(1, den)
+		}()
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := FromHalves(1)
+	tests := []struct {
+		name string
+		got  Q
+		want string
+	}{
+		{"add ints", FromInt(2).Add(FromInt(3)), "5"},
+		{"add halves", half.Add(half), "1"},
+		{"sub to negative", FromInt(1).Sub(FromInt(4)), "-3"},
+		{"mixed denominators", New(3, 4).Add(half), "5/4"},
+		{"half of odd", FromInt(3).Half(), "3/2"},
+		{"half of even", FromInt(10).Half(), "5"},
+		{"double", New(3, 4).Double(), "3/2"},
+		{"neg", New(-5, 2).Neg(), "5/2"},
+		{"mulint", New(3, 8).MulInt(4), "3/2"},
+		{"mul zero", New(3, 8).MulInt(0), "0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.got.String(); got != tt.want {
+				t.Errorf("got %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCmp(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Q
+		want int
+	}{
+		{"equal ints", FromInt(3), FromInt(3), 0},
+		{"equal mixed", New(6, 4), New(3, 2), 0},
+		{"less", New(1, 2), FromInt(1), -1},
+		{"greater", FromInt(2), New(7, 4), 1},
+		{"negative vs positive", FromInt(-1), New(1, 1024), -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Cmp(tt.b); got != tt.want {
+				t.Errorf("Cmp(%s, %s) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	tests := []struct {
+		q           Q
+		floor, ceil int64
+	}{
+		{FromInt(3), 3, 3},
+		{New(7, 2), 3, 4},
+		{New(-7, 2), -4, -3},
+		{New(1, 4), 0, 1},
+		{New(-1, 4), -1, 0},
+		{FromInt(0), 0, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.q.Floor(); got != tt.floor {
+			t.Errorf("(%s).Floor() = %d, want %d", tt.q, got, tt.floor)
+		}
+		if got := tt.q.Ceil(); got != tt.ceil {
+			t.Errorf("(%s).Ceil() = %d, want %d", tt.q, got, tt.ceil)
+		}
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	a, b := New(1, 2), FromInt(2)
+	if got := Min(a, b); got.Cmp(a) != 0 {
+		t.Errorf("Min = %s, want %s", got, a)
+	}
+	if got := Max(a, b); got.Cmp(b) != 0 {
+		t.Errorf("Max = %s, want %s", got, b)
+	}
+	if got := Clamp(FromInt(5), a, b); got.Cmp(b) != 0 {
+		t.Errorf("Clamp above = %s, want %s", got, b)
+	}
+	if got := Clamp(FromInt(-5), a, b); got.Cmp(a) != 0 {
+		t.Errorf("Clamp below = %s, want %s", got, a)
+	}
+	if got := Clamp(FromInt(1), a, b); got.Cmp(FromInt(1)) != 0 {
+		t.Errorf("Clamp inside = %s, want 1", got)
+	}
+}
+
+func TestIntPanicsOnFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on 1/2 did not panic")
+		}
+	}()
+	_ = FromHalves(1).Int()
+}
+
+func TestZeroValueIsUsable(t *testing.T) {
+	var z Q
+	if !z.IsZero() || !z.IsInt() || z.Int() != 0 {
+		t.Errorf("zero value misbehaves: %s", z)
+	}
+	if got := z.Add(FromInt(2)); got.Cmp(FromInt(2)) != 0 {
+		t.Errorf("0 + 2 = %s", got)
+	}
+	if z.String() != "0" {
+		t.Errorf("zero String = %q", z.String())
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	big := FromInt(math.MaxInt64 - 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	_ = big.Add(big)
+}
+
+func TestPrecisionLimitPanics(t *testing.T) {
+	q := FromInt(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected precision panic")
+		}
+	}()
+	for i := 0; i < 64; i++ {
+		q = q.Half()
+		if q.n != 1 {
+			t.Fatalf("unexpected numerator %d", q.n)
+		}
+	}
+}
+
+// Property-based checks on small dyadic rationals.
+
+func randQ(n int64, logD uint) Q { return New(n%(1<<20), 1<<(logD%16)) }
+
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b int64, da, db uint) bool {
+		x, y := randQ(a, da), randQ(b, db)
+		return x.Add(y).Cmp(y.Add(x)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddAssociates(t *testing.T) {
+	f := func(a, b, c int64, da, db, dc uint) bool {
+		x, y, z := randQ(a, da), randQ(b, db), randQ(c, dc)
+		return x.Add(y).Add(z).Cmp(x.Add(y.Add(z))) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubInvertsAdd(t *testing.T) {
+	f := func(a, b int64, da, db uint) bool {
+		x, y := randQ(a, da), randQ(b, db)
+		return x.Add(y).Sub(y).Cmp(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHalfDoubles(t *testing.T) {
+	f := func(a int64, da uint) bool {
+		x := randQ(a, da)
+		return x.Half().Double().Cmp(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpMatchesFloat(t *testing.T) {
+	f := func(a, b int64, da, db uint) bool {
+		x, y := randQ(a, da), randQ(b, db)
+		fx, fy := x.Float(), y.Float()
+		switch x.Cmp(y) {
+		case -1:
+			return fx < fy
+		case 1:
+			return fx > fy
+		default:
+			return fx == fy
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloorCeilBracket(t *testing.T) {
+	f := func(a int64, da uint) bool {
+		x := randQ(a, da)
+		fl, ce := FromInt(x.Floor()), FromInt(x.Ceil())
+		if fl.Cmp(x) > 0 || ce.Cmp(x) < 0 {
+			return false
+		}
+		return ce.Sub(fl).Cmp(FromInt(1)) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package steiner
+
+import (
+	"errors"
+	"fmt"
+
+	"steinerforest/internal/graph"
+)
+
+// ErrInfeasible is reported by Verify when some input component is not
+// connected by the solution.
+var ErrInfeasible = errors.New("steiner: solution does not connect an input component")
+
+// Solution is an output edge set, stored as a selection over the graph's
+// edge indices (the distributed representation: every node can tell which
+// incident edges are selected).
+type Solution struct {
+	Selected []bool
+}
+
+// NewSolution returns an empty solution for g.
+func NewSolution(g *graph.Graph) *Solution {
+	return &Solution{Selected: make([]bool, g.M())}
+}
+
+// SolutionFromEdges returns a solution selecting exactly the given edge
+// indices.
+func SolutionFromEdges(g *graph.Graph, edges []int) *Solution {
+	s := NewSolution(g)
+	for _, e := range edges {
+		s.Selected[e] = true
+	}
+	return s
+}
+
+// Add selects edge index e.
+func (s *Solution) Add(e int) { s.Selected[e] = true }
+
+// Contains reports whether edge index e is selected.
+func (s *Solution) Contains(e int) bool { return s.Selected[e] }
+
+// Edges returns the selected edge indices in ascending order.
+func (s *Solution) Edges() []int {
+	var out []int
+	for i, ok := range s.Selected {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Size returns the number of selected edges.
+func (s *Solution) Size() int {
+	n := 0
+	for _, ok := range s.Selected {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Weight returns the total weight of the selected edges.
+func (s *Solution) Weight(g *graph.Graph) int64 { return g.SubgraphWeight(s.Selected) }
+
+// Clone returns an independent copy.
+func (s *Solution) Clone() *Solution {
+	return &Solution{Selected: append([]bool(nil), s.Selected...)}
+}
+
+// Verify checks feasibility: every input component of ins must be connected
+// in the subgraph (V, F). It returns nil on success and a descriptive error
+// naming the violated component otherwise.
+func Verify(ins *Instance, s *Solution) error {
+	if len(s.Selected) != ins.G.M() {
+		return fmt.Errorf("steiner: solution over %d edges, graph has %d", len(s.Selected), ins.G.M())
+	}
+	uf := connectivity(ins.G, s)
+	for label, members := range ins.Components() {
+		for _, v := range members[1:] {
+			if !uf.Connected(members[0], v) {
+				return fmt.Errorf("%w: component %d (nodes %d and %d)",
+					ErrInfeasible, label, members[0], v)
+			}
+		}
+	}
+	return nil
+}
+
+// IsForest reports whether the selected edges are acyclic.
+func IsForest(g *graph.Graph, s *Solution) bool {
+	uf := graph.NewUnionFind(g.N())
+	for i, ok := range s.Selected {
+		if !ok {
+			continue
+		}
+		e := g.Edge(i)
+		if !uf.Union(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimal reports whether removing any single selected edge breaks
+// feasibility, i.e. s is an inclusion-minimal solution.
+func IsMinimal(ins *Instance, s *Solution) bool {
+	for _, e := range s.Edges() {
+		trial := s.Clone()
+		trial.Selected[e] = false
+		if Verify(ins, trial) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Prune returns the minimal subforest of s that still solves ins: cycles are
+// broken, then an edge is kept only if its removal would separate two
+// terminals of a common component (the paper's final "minimal feasible
+// subset" step). For a feasible s the result is feasible, a forest, and
+// inclusion-minimal.
+func Prune(ins *Instance, s *Solution) *Solution {
+	g := ins.G
+	out := s.Clone()
+	// Drop cycle edges first so each component of F is a tree.
+	uf := graph.NewUnionFind(g.N())
+	for i, ok := range out.Selected {
+		if !ok {
+			continue
+		}
+		e := g.Edge(i)
+		if !uf.Union(e.U, e.V) {
+			out.Selected[i] = false
+		}
+	}
+	// Adjacency restricted to the forest.
+	adj := make([][]graph.Half, g.N())
+	for i, ok := range out.Selected {
+		if !ok {
+			continue
+		}
+		e := g.Edge(i)
+		adj[e.U] = append(adj[e.U], graph.Half{To: e.V, Index: i})
+		adj[e.V] = append(adj[e.V], graph.Half{To: e.U, Index: i})
+	}
+	totals := make(map[int]int)
+	for _, l := range ins.Label {
+		if l != NoLabel {
+			totals[l]++
+		}
+	}
+	visited := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if !visited[v] {
+			pruneTree(v, adj, ins, totals, visited, out)
+		}
+	}
+	return out
+}
+
+// pruneTree walks one tree of the forest iteratively in post-order,
+// computing per-subtree component counts and unselecting edges whose
+// subtree splits no input component.
+func pruneTree(root int, adj [][]graph.Half, ins *Instance, totals map[int]int, visited []bool, out *Solution) {
+	type frame struct {
+		node, parentEdge int
+		childIdx         int
+	}
+	counts := make(map[int]map[int]int)
+	newCount := func(v int) map[int]int {
+		c := make(map[int]int, 1)
+		if l := ins.Label[v]; l != NoLabel {
+			c[l]++
+		}
+		return c
+	}
+	stack := []frame{{node: root, parentEdge: -1}}
+	counts[root] = newCount(root)
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.childIdx < len(adj[f.node]) {
+			h := adj[f.node][f.childIdx]
+			f.childIdx++
+			if h.Index == f.parentEdge || visited[h.To] {
+				continue
+			}
+			counts[h.To] = newCount(h.To)
+			visited[h.To] = true
+			stack = append(stack, frame{node: h.To, parentEdge: h.Index})
+			continue
+		}
+		// Post-order: decide edge necessity, fold counts into the parent.
+		stack = stack[:len(stack)-1]
+		if f.parentEdge == -1 {
+			continue
+		}
+		needed := false
+		for l, c := range counts[f.node] {
+			if c > 0 && c < totals[l] {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			out.Selected[f.parentEdge] = false
+		}
+		parent := stack[len(stack)-1].node
+		for l, c := range counts[f.node] {
+			counts[parent][l] += c
+		}
+		delete(counts, f.node)
+	}
+}
+
+func connectivity(g *graph.Graph, s *Solution) *graph.UnionFind {
+	uf := graph.NewUnionFind(g.N())
+	for i, ok := range s.Selected {
+		if ok {
+			e := g.Edge(i)
+			uf.Union(e.U, e.V)
+		}
+	}
+	return uf
+}

@@ -1,0 +1,180 @@
+// Package steiner defines the distributed Steiner Forest problem in both of
+// the paper's input representations — input components (DSF-IC, Definition
+// 2.2) and connection requests (DSF-CR, Definition 2.1) — together with the
+// centralized reference transformations between them (Lemmas 2.3 and 2.4)
+// and solution verification utilities shared by every solver and test.
+package steiner
+
+import (
+	"fmt"
+	"sort"
+
+	"steinerforest/internal/graph"
+)
+
+// NoLabel marks a non-terminal node (the paper's ⊥).
+const NoLabel = -1
+
+// Instance is a DSF-IC instance: a weighted graph and a component label per
+// node. Terminals are the nodes with a label != NoLabel; nodes sharing a
+// label form an input component that a solution must connect.
+type Instance struct {
+	G     *graph.Graph
+	Label []int
+}
+
+// NewInstance returns an instance on g with all nodes unlabeled.
+func NewInstance(g *graph.Graph) *Instance {
+	label := make([]int, g.N())
+	for i := range label {
+		label[i] = NoLabel
+	}
+	return &Instance{G: g, Label: label}
+}
+
+// SetComponent labels all listed nodes with the given component id (>= 0).
+func (ins *Instance) SetComponent(id int, nodes ...int) {
+	if id < 0 {
+		panic(fmt.Sprintf("steiner: component id %d < 0", id))
+	}
+	for _, v := range nodes {
+		ins.Label[v] = id
+	}
+}
+
+// Terminals returns the sorted list of terminal nodes (t = len).
+func (ins *Instance) Terminals() []int {
+	var ts []int
+	for v, l := range ins.Label {
+		if l != NoLabel {
+			ts = append(ts, v)
+		}
+	}
+	return ts
+}
+
+// Components returns the input components as a map from label to its sorted
+// member nodes.
+func (ins *Instance) Components() map[int][]int {
+	comps := make(map[int][]int)
+	for v, l := range ins.Label {
+		if l != NoLabel {
+			comps[l] = append(comps[l], v)
+		}
+	}
+	return comps
+}
+
+// NumComponents returns k, the number of distinct input components.
+func (ins *Instance) NumComponents() int { return len(ins.Components()) }
+
+// NumTerminals returns t.
+func (ins *Instance) NumTerminals() int { return len(ins.Terminals()) }
+
+// IsMinimal reports whether no input component is a singleton
+// (Definition 2.2's minimality).
+func (ins *Instance) IsMinimal() bool {
+	for _, members := range ins.Components() {
+		if len(members) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimalize returns a copy with singleton components unlabeled, i.e. the
+// centralized counterpart of the Lemma 2.4 transformation.
+func (ins *Instance) Minimalize() *Instance {
+	out := &Instance{G: ins.G, Label: append([]int(nil), ins.Label...)}
+	for label, members := range ins.Components() {
+		if len(members) == 1 {
+			_ = label
+			out.Label[members[0]] = NoLabel
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the instance sharing the graph.
+func (ins *Instance) Clone() *Instance {
+	return &Instance{G: ins.G, Label: append([]int(nil), ins.Label...)}
+}
+
+// Validate checks structural sanity: label slice length and non-negative
+// component ids.
+func (ins *Instance) Validate() error {
+	if len(ins.Label) != ins.G.N() {
+		return fmt.Errorf("steiner: %d labels for %d nodes", len(ins.Label), ins.G.N())
+	}
+	for v, l := range ins.Label {
+		if l < NoLabel {
+			return fmt.Errorf("steiner: node %d has invalid label %d", v, l)
+		}
+	}
+	return nil
+}
+
+// Requests is a DSF-CR instance: per-node sets of nodes that must become
+// connected to it.
+type Requests struct {
+	G    *graph.Graph
+	Reqs [][]int // Reqs[v] lists the nodes v requests connection to
+}
+
+// NewRequests returns an empty request instance on g.
+func NewRequests(g *graph.Graph) *Requests {
+	return &Requests{G: g, Reqs: make([][]int, g.N())}
+}
+
+// Add records the (symmetric) connection request between u and v.
+func (r *Requests) Add(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("steiner: self-request at %d", u))
+	}
+	r.Reqs[u] = append(r.Reqs[u], v)
+	r.Reqs[v] = append(r.Reqs[v], u)
+}
+
+// Terminals returns the set of nodes participating in any request.
+func (r *Requests) Terminals() []int {
+	seen := make(map[int]bool)
+	for v, reqs := range r.Reqs {
+		if len(reqs) > 0 {
+			seen[v] = true
+		}
+		for _, w := range reqs {
+			seen[w] = true
+		}
+	}
+	ts := make([]int, 0, len(seen))
+	for v := range seen {
+		ts = append(ts, v)
+	}
+	sort.Ints(ts)
+	return ts
+}
+
+// ToInstance converts connection requests into an equivalent DSF-IC
+// instance, the centralized counterpart of Lemma 2.3: terminals connected by
+// a chain of requests land in the same input component, labeled by the
+// smallest member id.
+func (r *Requests) ToInstance() *Instance {
+	uf := graph.NewUnionFind(r.G.N())
+	for v, reqs := range r.Reqs {
+		for _, w := range reqs {
+			uf.Union(v, w)
+		}
+	}
+	ins := NewInstance(r.G)
+	minOf := make(map[int]int)
+	for _, v := range r.Terminals() {
+		root := uf.Find(v)
+		if m, ok := minOf[root]; !ok || v < m {
+			minOf[root] = v
+		}
+	}
+	for _, v := range r.Terminals() {
+		ins.Label[v] = minOf[uf.Find(v)]
+	}
+	return ins
+}

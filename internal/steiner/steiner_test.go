@@ -1,0 +1,234 @@
+package steiner
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"steinerforest/internal/graph"
+)
+
+func pathInstance(n int) *Instance {
+	g := graph.Path(n, graph.UnitWeights)
+	ins := NewInstance(g)
+	ins.SetComponent(0, 0, n-1)
+	return ins
+}
+
+func TestInstanceBasics(t *testing.T) {
+	ins := pathInstance(5)
+	if got := ins.NumTerminals(); got != 2 {
+		t.Errorf("t = %d", got)
+	}
+	if got := ins.NumComponents(); got != 1 {
+		t.Errorf("k = %d", got)
+	}
+	ts := ins.Terminals()
+	if len(ts) != 2 || ts[0] != 0 || ts[1] != 4 {
+		t.Errorf("terminals = %v", ts)
+	}
+	if err := ins.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSetComponentRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pathInstance(3).SetComponent(-2, 0)
+}
+
+func TestMinimalize(t *testing.T) {
+	g := graph.Path(5, graph.UnitWeights)
+	ins := NewInstance(g)
+	ins.SetComponent(1, 0, 2)
+	ins.SetComponent(2, 4) // singleton, should vanish
+	if ins.IsMinimal() {
+		t.Fatal("instance should not be minimal")
+	}
+	m := ins.Minimalize()
+	if !m.IsMinimal() {
+		t.Fatal("minimalized instance should be minimal")
+	}
+	if m.NumComponents() != 1 || m.Label[4] != NoLabel {
+		t.Errorf("labels = %v", m.Label)
+	}
+	// Original untouched.
+	if ins.Label[4] != 2 {
+		t.Error("Minimalize mutated original")
+	}
+}
+
+func TestRequestsToInstance(t *testing.T) {
+	g := graph.Path(6, graph.UnitWeights)
+	r := NewRequests(g)
+	r.Add(0, 2)
+	r.Add(2, 4) // chain 0-2-4 => one component
+	r.Add(1, 5) // separate component
+	ins := r.ToInstance()
+	if ins.NumComponents() != 2 {
+		t.Fatalf("k = %d, want 2", ins.NumComponents())
+	}
+	if ins.Label[0] != ins.Label[2] || ins.Label[2] != ins.Label[4] {
+		t.Errorf("chain not merged: %v", ins.Label)
+	}
+	if ins.Label[1] != ins.Label[5] || ins.Label[1] == ins.Label[0] {
+		t.Errorf("labels = %v", ins.Label)
+	}
+	if got := len(r.Terminals()); got != 5 {
+		t.Errorf("terminals = %d", got)
+	}
+}
+
+func TestRequestSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRequests(graph.Path(3, graph.UnitWeights)).Add(1, 1)
+}
+
+func TestVerify(t *testing.T) {
+	ins := pathInstance(4)
+	s := NewSolution(ins.G)
+	if err := Verify(ins, s); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("empty solution: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		s.Add(i)
+	}
+	if err := Verify(ins, s); err != nil {
+		t.Fatalf("full path: %v", err)
+	}
+}
+
+func TestVerifySizeMismatch(t *testing.T) {
+	ins := pathInstance(4)
+	if err := Verify(ins, &Solution{Selected: make([]bool, 1)}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIsForest(t *testing.T) {
+	g := graph.Cycle(4, graph.UnitWeights)
+	s := NewSolution(g)
+	for i := 0; i < 3; i++ {
+		s.Add(i)
+	}
+	if !IsForest(g, s) {
+		t.Error("3 edges of a 4-cycle form a forest")
+	}
+	s.Add(3)
+	if IsForest(g, s) {
+		t.Error("full cycle is not a forest")
+	}
+}
+
+func TestSolutionAccessors(t *testing.T) {
+	g := graph.Path(4, func(u, v int) int64 { return int64(u + 1) })
+	s := SolutionFromEdges(g, []int{0, 2})
+	if s.Size() != 2 || !s.Contains(0) || s.Contains(1) {
+		t.Errorf("selection wrong: %v", s.Selected)
+	}
+	if w := s.Weight(g); w != 4 {
+		t.Errorf("weight = %d", w)
+	}
+	es := s.Edges()
+	if len(es) != 2 || es[0] != 0 || es[1] != 2 {
+		t.Errorf("edges = %v", es)
+	}
+}
+
+func TestPruneDropsUselessBranch(t *testing.T) {
+	// Star: terminals at leaves 1,2; leaf 3 unused. Solution includes all
+	// three spokes; pruning must drop the spoke to 3.
+	g := graph.Star(4, graph.UnitWeights)
+	ins := NewInstance(g)
+	ins.SetComponent(0, 1, 2)
+	s := SolutionFromEdges(g, []int{0, 1, 2})
+	p := Prune(ins, s)
+	if err := Verify(ins, p); err != nil {
+		t.Fatalf("pruned infeasible: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Errorf("pruned size = %d, want 2", p.Size())
+	}
+	if !IsMinimal(ins, p) {
+		t.Error("pruned solution not minimal")
+	}
+}
+
+func TestPruneBreaksCycles(t *testing.T) {
+	g := graph.Cycle(4, graph.UnitWeights)
+	ins := NewInstance(g)
+	ins.SetComponent(0, 0, 2)
+	s := SolutionFromEdges(g, []int{0, 1, 2, 3})
+	p := Prune(ins, s)
+	if !IsForest(g, p) {
+		t.Fatal("pruned solution contains a cycle")
+	}
+	if err := Verify(ins, p); err != nil {
+		t.Fatalf("pruned infeasible: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Errorf("size = %d, want 2", p.Size())
+	}
+}
+
+func TestPruneKeepsMultiComponentForest(t *testing.T) {
+	// Path 0-1-2-3-4-5; components {0,2} and {3,5}. Select all edges; the
+	// bridge 2-3 must be pruned, yielding two separate subpaths.
+	g := graph.Path(6, graph.UnitWeights)
+	ins := NewInstance(g)
+	ins.SetComponent(0, 0, 2)
+	ins.SetComponent(1, 3, 5)
+	s := SolutionFromEdges(g, []int{0, 1, 2, 3, 4})
+	p := Prune(ins, s)
+	if err := Verify(ins, p); err != nil {
+		t.Fatalf("pruned infeasible: %v", err)
+	}
+	if p.Contains(2) {
+		t.Error("bridge edge 2-3 should be pruned")
+	}
+	if p.Size() != 4 {
+		t.Errorf("size = %d, want 4", p.Size())
+	}
+}
+
+func TestPruneRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(15)
+		g := graph.GNP(n, 0.3, graph.RandomWeights(rng, 16), rng)
+		ins := NewInstance(g)
+		k := 1 + rng.Intn(3)
+		perm := rng.Perm(n)
+		idx := 0
+		for c := 0; c < k && idx+1 < n; c++ {
+			size := 2 + rng.Intn(2)
+			for j := 0; j < size && idx < n; j++ {
+				ins.SetComponent(c, perm[idx])
+				idx++
+			}
+		}
+		// Start from the full edge set: always feasible on connected g.
+		s := NewSolution(g)
+		for i := 0; i < g.M(); i++ {
+			s.Add(i)
+		}
+		p := Prune(ins, s)
+		if err := Verify(ins, p); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !IsForest(g, p) {
+			t.Fatalf("trial %d: not a forest", trial)
+		}
+		if !IsMinimal(ins, p) {
+			t.Fatalf("trial %d: not minimal", trial)
+		}
+	}
+}

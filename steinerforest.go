@@ -1,0 +1,166 @@
+// Package steinerforest is a reproduction of "Improved Distributed Steiner
+// Forest Construction" (Lenzen & Patt-Shamir, PODC 2014) as a Go library:
+// the deterministic (2+ε)-approximate and randomized O(log n)-approximate
+// CONGEST algorithms, the centralized moat-growing oracle they emulate, the
+// CONGEST simulator they run on, and the Section 3 lower-bound gadgets.
+//
+// Quick start:
+//
+//	g := steinerforest.NewGraph(6)
+//	for i := 0; i < 5; i++ {
+//		g.AddEdge(i, i+1, 1)
+//	}
+//	ins := steinerforest.NewInstance(g)
+//	ins.SetComponent(0, 0, 5) // connect nodes 0 and 5
+//	res, err := steinerforest.SolveDeterministic(ins)
+//
+// The result carries the selected forest, its weight, round/message counts
+// of the simulated CONGEST execution, and a certified lower bound on OPT
+// from the moat-growing dual (Lemma C.4), so every answer ships with its
+// own approximation certificate.
+package steinerforest
+
+import (
+	"steinerforest/internal/congest"
+	"steinerforest/internal/detforest"
+	"steinerforest/internal/graph"
+	"steinerforest/internal/moat"
+	"steinerforest/internal/randforest"
+	"steinerforest/internal/steiner"
+)
+
+// Graph is a weighted undirected network; nodes are 0..n-1.
+type Graph = graph.Graph
+
+// Instance is a Steiner Forest instance with input components (DSF-IC).
+type Instance = steiner.Instance
+
+// Requests is a Steiner Forest instance given by connection requests
+// (DSF-CR); convert with Requests.ToInstance (Lemma 2.3).
+type Requests = steiner.Requests
+
+// Solution is an output edge set over a graph's edge indices.
+type Solution = steiner.Solution
+
+// Stats aggregates a simulated CONGEST execution.
+type Stats = congest.Stats
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewInstance returns an instance on g with no terminals.
+func NewInstance(g *Graph) *Instance { return steiner.NewInstance(g) }
+
+// NewRequests returns an empty connection-request instance on g.
+func NewRequests(g *Graph) *Requests { return steiner.NewRequests(g) }
+
+// Result is the outcome of a solver run.
+type Result struct {
+	// Solution selects the output edges; Weight is their total.
+	Solution *Solution
+	Weight   int64
+	// LowerBound is a certified lower bound on the optimal weight (the
+	// moat-growing dual of Lemma C.4), so Weight/LowerBound bounds the
+	// achieved approximation ratio.
+	LowerBound float64
+	// Stats describes the distributed execution (nil for the centralized
+	// solver).
+	Stats *Stats
+}
+
+func finish(ins *Instance, sol *Solution, stats *Stats) (*Result, error) {
+	oracle, err := moat.SolveAKR(ins)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Solution:   sol,
+		Weight:     sol.Weight(ins.G),
+		LowerBound: oracle.DualSum.Float(),
+		Stats:      stats,
+	}, nil
+}
+
+// SolveDeterministic runs the paper's Section 4.1 deterministic distributed
+// algorithm (Theorem 4.17): a 2-approximation in O(ks+t) CONGEST rounds.
+func SolveDeterministic(ins *Instance, opts ...Option) (*Result, error) {
+	res, err := detforest.Solve(ins, gather(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	return finish(ins, res.Solution, res.Stats)
+}
+
+// SolveDeterministicRounded runs the Section 4.2 rounded-radii variant with
+// ε = epsNum/epsDen: a (2+ε)-approximation organized in growth phases.
+func SolveDeterministicRounded(ins *Instance, epsNum, epsDen int64, opts ...Option) (*Result, error) {
+	res, err := detforest.SolveRounded(ins, epsNum, epsDen, gather(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	return finish(ins, res.Solution, res.Stats)
+}
+
+// SolveRandomized runs the Section 5 randomized algorithm: an O(log n)
+// approximation in O~(k + min{s,√n} + D) rounds w.h.p. With truncate set,
+// the virtual tree is cut at the √n highest-rank nodes and the F-reduced
+// second stage runs (the paper's s > √n regime).
+func SolveRandomized(ins *Instance, truncate bool, opts ...Option) (*Result, error) {
+	mode := randforest.ModeFull
+	if truncate {
+		mode = randforest.ModeTruncated
+	}
+	res, err := randforest.Solve(ins, mode, gather(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	return finish(ins, res.Solution, res.Stats)
+}
+
+// SolveCentralized runs the centralized moat-growing 2-approximation
+// (Algorithm 1 / Agrawal-Klein-Ravi), the oracle the distributed algorithm
+// emulates. No simulation statistics are produced.
+func SolveCentralized(ins *Instance) (*Result, error) {
+	res, err := moat.SolveAKR(ins)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Solution:   res.Pruned,
+		Weight:     res.Weight,
+		LowerBound: res.DualSum.Float(),
+	}, nil
+}
+
+// Verify checks that sol connects every input component of ins.
+func Verify(ins *Instance, sol *Solution) error { return steiner.Verify(ins, sol) }
+
+// Option configures the simulated CONGEST execution.
+type Option func(*runConfig)
+
+type runConfig struct {
+	opts []congest.Option
+}
+
+func gather(opts []Option) []congest.Option {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	return rc.opts
+}
+
+// WithSeed fixes the randomness of the simulation (node ranks, β, ...).
+func WithSeed(seed int64) Option {
+	return func(rc *runConfig) { rc.opts = append(rc.opts, congest.WithSeed(seed)) }
+}
+
+// WithBandwidth overrides the per-edge per-round bit budget.
+func WithBandwidth(bits int) Option {
+	return func(rc *runConfig) { rc.opts = append(rc.opts, congest.WithBandwidth(bits)) }
+}
+
+// WithEdgeTracking records per-edge traffic in Stats.EdgeBits.
+func WithEdgeTracking() Option {
+	return func(rc *runConfig) { rc.opts = append(rc.opts, congest.WithEdgeTracking()) }
+}
