@@ -1,0 +1,30 @@
+# Tier-1 gate and developer shortcuts. `make ci` is the one command the
+# build must keep green.
+
+GO ?= go
+
+.PHONY: ci build vet test bench smoke
+
+ci: build vet test smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Benchmark suite: experiment tables at reduced scale plus the engine
+# allocation profile (BenchmarkEngineFlood reports allocs/op).
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./...
+
+# Quick end-to-end smoke: the evaluation tables at reduced scale and one
+# full dsfrun through the Spec pipeline.
+smoke:
+	$(GO) run ./cmd/dsfbench -quick -table t1 >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table e1 -json >/dev/null
+	$(GO) run ./cmd/dsfrun -n 30 -k 2 -algo det >/dev/null
+	@echo smoke OK

@@ -1,45 +1,67 @@
 // Command dsfbench regenerates the paper's evaluation: one table per claim
 // (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
-// results).
+// results), plus the E1 engine-scaling experiment.
 //
 // Usage:
 //
-//	dsfbench [-table all|t1|t1b|t2|t3|t4|t5|t6|f1|a1] [-quick]
+//	dsfbench [-table all|t1|t1b|t2|t3|t4|t5|t6|f1|a1|e1] [-quick] [-json]
+//
+// With -json the results are emitted as a machine-readable array of table
+// objects ({id, title, claim, header, rows, notes, elapsed_ms}), so the
+// perf trajectory can be recorded and diffed across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"steinerforest/internal/bench"
 )
 
 func main() {
-	table := flag.String("table", "all", "experiment to run (all, t1, t1b, t2, t3, t4, t5, t6, f1, a1)")
+	keys := make([]string, 0, len(bench.Index))
+	for _, e := range bench.Index {
+		keys = append(keys, e.Key)
+	}
+	table := flag.String("table", "all",
+		"experiment to run (all, "+strings.Join(keys, ", ")+")")
 	quick := flag.Bool("quick", false, "shrink instance sizes for a fast smoke run")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 
 	sc := bench.Scale(1)
 	if *quick {
 		sc = bench.Scale(3)
 	}
-	runners := map[string]func(bench.Scale) *bench.Table{
-		"t1": bench.T1, "t1b": bench.T1b, "t2": bench.T2, "t3": bench.T3,
-		"t4": bench.T4, "t5": bench.T5, "t6": bench.T6, "f1": bench.F1, "a1": bench.A1,
+	timed := func(run func(bench.Scale) *bench.Table) *bench.Table {
+		start := time.Now()
+		tab := run(sc)
+		tab.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000.0
+		return tab
 	}
 	var tables []*bench.Table
-	switch key := strings.ToLower(*table); key {
-	case "all":
-		tables = bench.All(sc)
-	default:
-		run, ok := runners[key]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "dsfbench: unknown table %q\n", *table)
-			os.Exit(2)
+	key := strings.ToLower(*table)
+	for _, e := range bench.Index {
+		if key == "all" || key == e.Key {
+			tables = append(tables, timed(e.Run))
 		}
-		tables = []*bench.Table{run(sc)}
+	}
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "dsfbench: unknown table %q (have: %s)\n", *table, strings.Join(keys, ", "))
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Print(bench.RenderAll(tables))
 }

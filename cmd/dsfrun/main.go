@@ -1,10 +1,15 @@
 // Command dsfrun generates one random Steiner Forest instance and solves it
-// with a chosen algorithm, printing the selected forest, its certified
-// approximation ratio, and the CONGEST execution statistics.
+// with a chosen algorithm from the solver registry, printing the selected
+// forest, its certified approximation ratio, and the CONGEST execution
+// statistics.
 //
 // Usage:
 //
-//	dsfrun [-n 40] [-k 3] [-maxw 64] [-seed 1] [-algo det|rounded|rand|trunc|central]
+//	dsfrun [-n 40] [-k 3] [-maxw 64] [-seed 1] [-algo det] [-eps 1/2]
+//	       [-parallel 1] [-nocert]
+//
+// -algo accepts any registered solver (det, rounded, rand, trunc, khan,
+// central).
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	steinerforest "steinerforest"
 	"steinerforest/internal/graph"
@@ -22,8 +28,23 @@ func main() {
 	k := flag.Int("k", 3, "number of input components (2 terminals each)")
 	maxw := flag.Int64("maxw", 64, "maximum edge weight")
 	seed := flag.Int64("seed", 1, "random seed for instance and simulation")
-	algo := flag.String("algo", "det", "algorithm: det, rounded, rand, trunc, central")
+	algo := flag.String("algo", "det",
+		"algorithm: one of "+strings.Join(steinerforest.Algorithms(), ", "))
+	eps := flag.String("eps", "1/2", "epsilon for -algo rounded, as num/den")
+	parallel := flag.Int("parallel", 1, "simulator routing workers")
+	nocert := flag.Bool("nocert", false, "skip the dual-oracle certificate (faster on large instances)")
 	flag.Parse()
+
+	spec := steinerforest.Spec{
+		Algorithm:     *algo,
+		Seed:          *seed,
+		Parallelism:   *parallel,
+		NoCertificate: *nocert,
+	}
+	if _, err := fmt.Sscanf(*eps, "%d/%d", &spec.EpsNum, &spec.EpsDen); err != nil {
+		fmt.Fprintf(os.Stderr, "dsfrun: bad -eps %q (want num/den)\n", *eps)
+		os.Exit(2)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g := graph.GNP(*n, 3.0/float64(*n), graph.RandomWeights(rng, *maxw), rng)
@@ -34,39 +55,23 @@ func main() {
 		fmt.Printf("component %d: nodes %d and %d\n", c, perm[2*c], perm[2*c+1])
 	}
 
-	var (
-		res *steinerforest.Result
-		err error
-	)
-	switch *algo {
-	case "det":
-		res, err = steinerforest.SolveDeterministic(ins, steinerforest.WithSeed(*seed))
-	case "rounded":
-		res, err = steinerforest.SolveDeterministicRounded(ins, 1, 2, steinerforest.WithSeed(*seed))
-	case "rand":
-		res, err = steinerforest.SolveRandomized(ins, false, steinerforest.WithSeed(*seed))
-	case "trunc":
-		res, err = steinerforest.SolveRandomized(ins, true, steinerforest.WithSeed(*seed))
-	case "central":
-		res, err = steinerforest.SolveCentralized(ins)
-	default:
-		fmt.Fprintf(os.Stderr, "dsfrun: unknown algorithm %q\n", *algo)
-		os.Exit(2)
-	}
+	res, err := steinerforest.Solve(ins, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsfrun:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("\ngraph: n=%d m=%d s=%d D=%d\n", g.N(), g.M(), g.ShortestPathDiameter(), g.Diameter())
-	fmt.Printf("selected %d edges, weight %d\n", res.Solution.Size(), res.Weight)
-	fmt.Printf("certified OPT lower bound %.2f => ratio <= %.3f\n",
-		res.LowerBound, float64(res.Weight)/res.LowerBound)
+	fmt.Printf("algorithm %s selected %d edges, weight %d\n", res.Algorithm, res.Solution.Size(), res.Weight)
+	if res.LowerBound > 0 {
+		fmt.Printf("certified OPT lower bound %.2f => ratio <= %.3f\n",
+			res.LowerBound, float64(res.Weight)/res.LowerBound)
+	}
 	if res.Stats != nil {
 		fmt.Printf("CONGEST execution: %d rounds, %d messages, %d bits\n",
 			res.Stats.Rounds, res.Stats.Messages, res.Stats.Bits)
 	}
-	if err := steinerforest.Verify(ins, res.Solution); err != nil {
+	if err := steinerforest.Verify(ins.Minimalize(), res.Solution); err != nil {
 		fmt.Fprintln(os.Stderr, "dsfrun: verification failed:", err)
 		os.Exit(1)
 	}

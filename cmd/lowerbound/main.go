@@ -10,8 +10,7 @@ import (
 	"math/rand"
 	"os"
 
-	"steinerforest/internal/congest"
-	"steinerforest/internal/detforest"
+	steinerforest "steinerforest"
 	"steinerforest/internal/lower"
 )
 
@@ -26,7 +25,8 @@ func main() {
 		for _, intersect := range []bool{false, true} {
 			d := lower.RandomDisjointness(n, intersect, rng)
 			gadget := lower.BuildIC(d)
-			res, err := detforest.Solve(gadget.Instance, congest.WithEdgeTracking())
+			res, err := steinerforest.Solve(gadget.Instance,
+				steinerforest.Spec{Algorithm: "det", EdgeTracking: true, NoCertificate: true})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "lowerbound:", err)
 				os.Exit(1)

@@ -32,11 +32,13 @@ func main() {
 		fmt.Printf("group %d: %v\n", c, members)
 	}
 
-	det, err := steinerforest.SolveDeterministic(ins, steinerforest.WithSeed(1))
+	// Both provisioning algorithms run through the same Spec pipeline; only
+	// the registry name differs.
+	det, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det", Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rnd, err := steinerforest.SolveRandomized(ins, false, steinerforest.WithSeed(1))
+	rnd, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "rand", Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

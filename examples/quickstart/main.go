@@ -1,6 +1,7 @@
 // Quickstart: build a small weighted network, request that two groups of
 // nodes be connected, and solve with the deterministic distributed
-// algorithm. Demonstrates the minimal public API surface.
+// algorithm through the unified Spec pipeline. Demonstrates the minimal
+// public API surface.
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	ins.SetComponent(0, 0, 8) // connect opposite corners
 	ins.SetComponent(1, 2, 6) // and the other diagonal
 
-	res, err := steinerforest.SolveDeterministic(ins, steinerforest.WithSeed(1))
+	res, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det", Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func main() {
 	ins.SetComponent(0, cities...)
 	fmt.Printf("cities: %v\n", cities)
 
-	res, err := steinerforest.SolveDeterministic(ins, steinerforest.WithSeed(1))
+	res, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det", Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func main() {
 	for v := 0; v < g.N(); v++ {
 		all.SetComponent(0, v)
 	}
-	mstRes, err := steinerforest.SolveDeterministic(all, steinerforest.WithSeed(1))
+	mstRes, err := steinerforest.Solve(all, steinerforest.Spec{Algorithm: "det", Seed: 1, NoCertificate: true})
 	if err != nil {
 		log.Fatal(err)
 	}

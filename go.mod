@@ -1,0 +1,3 @@
+module steinerforest
+
+go 1.24

@@ -2,7 +2,9 @@
 // of the paper's evaluation (its theorems and the Figure 1 lower-bound
 // constructions) a workload generator, a parameter sweep, and a table
 // renderer that prints the measured series next to the paper's predicted
-// shape.
+// shape. All solver invocations go through the root package's unified
+// Spec/registry pipeline, so the experiments exercise exactly the code
+// path users call.
 package bench
 
 import (
@@ -11,23 +13,22 @@ import (
 	"math/rand"
 	"strings"
 
-	"steinerforest/internal/congest"
-	"steinerforest/internal/detforest"
+	steinerforest "steinerforest"
 	"steinerforest/internal/graph"
 	"steinerforest/internal/lower"
 	"steinerforest/internal/moat"
-	"steinerforest/internal/randforest"
 	"steinerforest/internal/steiner"
 )
 
 // Table is a rendered experiment result.
 type Table struct {
-	ID     string
-	Title  string
-	Claim  string // the paper statement being probed
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Claim     string     `json:"claim"` // the paper statement being probed
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"` // filled by timed runners (dsfbench)
 }
 
 // Render prints t in aligned plain text.
@@ -88,6 +89,14 @@ func f(x float64) string { return fmt.Sprintf("%.2f", x) }
 func d(x int) string     { return fmt.Sprintf("%d", x) }
 func d64(x int64) string { return fmt.Sprintf("%d", x) }
 
+// ratio is the certified approximation ratio of a pipeline result.
+func ratio(res *steinerforest.Result) float64 {
+	if res.LowerBound <= 0 {
+		return 0
+	}
+	return float64(res.Weight) / res.LowerBound
+}
+
 // T1 measures the deterministic algorithm's rounds against the Theorem 4.17
 // bound O(ks + t) while k sweeps.
 func T1(sc Scale) *Table {
@@ -111,17 +120,15 @@ func T1(sc Scale) *Table {
 		for c := 0; c < k; c++ {
 			ins.SetComponent(c, perm[2*c], perm[2*c+1])
 		}
-		res, err := detforest.Solve(ins)
+		res, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det"})
 		if err != nil {
 			tab.Notes = append(tab.Notes, "error: "+err.Error())
 			continue
 		}
-		oracle, _ := moat.SolveAKR(ins)
-		ratio := float64(res.Solution.Weight(g)) / oracle.DualSum.Float()
 		t := ins.NumTerminals()
 		norm := float64(res.Stats.Rounds) / float64(k*s+t+diam)
 		tab.Rows = append(tab.Rows, []string{
-			d(n), d(k), d(t), d(s), d(diam), d(res.Stats.Rounds), f(norm), f(ratio),
+			d(n), d(k), d(t), d(s), d(diam), d(res.Stats.Rounds), f(norm), f(ratio(res)),
 		})
 	}
 	tab.Notes = append(tab.Notes,
@@ -143,23 +150,23 @@ func T1b(sc Scale) *Table {
 		Header: []string{"eps", "phases(exact)", "phases(rounded)", "w(exact)", "w(rounded)", "ratio"},
 	}
 	ins := pairInstance(rng, n, 4, 128, 3.0/float64(n))
-	exact, err := detforest.Solve(ins)
+	exact, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det", NoCertificate: true})
 	if err != nil {
 		tab.Notes = append(tab.Notes, "error: "+err.Error())
 		return tab
 	}
-	we := exact.Solution.Weight(ins.G)
 	for _, eps := range [][2]int64{{1, 4}, {1, 2}, {1, 1}, {2, 1}} {
-		res, err := detforest.SolveRounded(ins, eps[0], eps[1])
+		res, err := steinerforest.Solve(ins, steinerforest.Spec{
+			Algorithm: "rounded", EpsNum: eps[0], EpsDen: eps[1], NoCertificate: true,
+		})
 		if err != nil {
 			tab.Notes = append(tab.Notes, "error: "+err.Error())
 			continue
 		}
-		wr := res.Solution.Weight(ins.G)
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprintf("%d/%d", eps[0], eps[1]),
-			d(exact.Phases), d(res.Phases), d64(we), d64(wr),
-			f(float64(wr) / float64(we)),
+			d(exact.Phases), d(res.Phases), d64(exact.Weight), d64(res.Weight),
+			f(float64(res.Weight) / float64(exact.Weight)),
 		})
 	}
 	tab.Notes = append(tab.Notes,
@@ -203,17 +210,18 @@ func T2(sc Scale) *Table {
 	if trials < 5 {
 		trials = 5
 	}
+	central := steinerforest.Spec{Algorithm: "central"}
 	for _, fam := range families {
 		maxDual, sumDual, maxOpt := 0.0, 0.0, 0.0
 		ok := 0
 		for i := 0; i < trials; i++ {
 			ins := fam.gen()
-			res, err := moat.SolveAKR(ins)
+			res, err := steinerforest.Solve(ins, central)
 			if err != nil {
 				continue
 			}
 			ok++
-			r := res.Approx()
+			r := ratio(res)
 			sumDual += r
 			if r > maxDual {
 				maxDual = r
@@ -224,7 +232,7 @@ func T2(sc Scale) *Table {
 			sub := steiner.NewInstance(g)
 			sub.SetComponent(0, ts...)
 			if opt, err := moat.ExactSteinerTree(g, ts); err == nil && opt > 0 {
-				if sres, err := moat.SolveAKR(sub); err == nil {
+				if sres, err := steinerforest.Solve(sub, central); err == nil {
 					if r2 := float64(sres.Weight) / float64(opt); r2 > maxOpt {
 						maxOpt = r2
 					}
@@ -256,21 +264,16 @@ func T3(sc Scale) *Table {
 		for c := 0; c < k && 2*c+1 < g.N(); c++ {
 			ins.SetComponent(c, perm[2*c], perm[2*c+1])
 		}
-		res, err := randforest.Solve(ins, randforest.ModeFull, congest.WithSeed(7))
+		res, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "rand", Seed: 7})
 		if err != nil {
 			tab.Notes = append(tab.Notes, name+": "+err.Error())
 			return
 		}
 		s := g.ShortestPathDiameter()
 		diam := g.Diameter()
-		oracle, _ := moat.SolveAKR(ins)
-		ratio := 0.0
-		if oracle != nil && !oracle.DualSum.IsZero() {
-			ratio = float64(res.Solution.Weight(g)) / oracle.DualSum.Float()
-		}
 		tab.Rows = append(tab.Rows, []string{
 			name, d(g.N()), d(k), d(s), d(diam), d(res.Stats.Rounds),
-			f(float64(res.Stats.Rounds) / float64(k+s+diam)), f(ratio),
+			f(float64(res.Stats.Rounds) / float64(k+s+diam)), f(ratio(res)),
 		})
 	}
 	base := 60 / int(sc)
@@ -311,12 +314,12 @@ func T4(sc Scale) *Table {
 		for c := 0; c < k; c++ {
 			ins.SetComponent(c, perm[2*c], perm[2*c+1])
 		}
-		ours, err := randforest.Solve(ins, randforest.ModeFull, congest.WithSeed(3))
+		ours, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "rand", Seed: 3, NoCertificate: true})
 		if err != nil {
 			tab.Notes = append(tab.Notes, err.Error())
 			continue
 		}
-		khan, err := randforest.Solve(ins, randforest.ModeKhanBaseline, congest.WithSeed(3))
+		khan, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "khan", Seed: 3, NoCertificate: true})
 		if err != nil {
 			tab.Notes = append(tab.Notes, err.Error())
 			continue
@@ -324,7 +327,7 @@ func T4(sc Scale) *Table {
 		tab.Rows = append(tab.Rows, []string{
 			d(k), d(ours.Stats.Rounds), d(khan.Stats.Rounds),
 			f(float64(khan.Stats.Rounds) / float64(ours.Stats.Rounds)),
-			d64(ours.Solution.Weight(g)), d64(khan.Solution.Weight(g)),
+			d64(ours.Weight), d64(khan.Weight),
 		})
 	}
 	tab.Notes = append(tab.Notes, "speedup should grow roughly linearly in k (the paper's headline gain)")
@@ -351,15 +354,14 @@ func T5(sc Scale) *Table {
 		for v := 0; v < nn; v++ {
 			ins.SetComponent(0, v)
 		}
-		res, err := detforest.Solve(ins)
+		res, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det", NoCertificate: true})
 		if err != nil {
 			tab.Notes = append(tab.Notes, err.Error())
 			continue
 		}
 		_, mst := g.MST()
-		w := res.Solution.Weight(g)
 		tab.Rows = append(tab.Rows, []string{
-			d(nn), d(res.Stats.Rounds), d64(w), d64(mst), fmt.Sprintf("%v", w == mst),
+			d(nn), d(res.Stats.Rounds), d64(res.Weight), d64(mst), fmt.Sprintf("%v", res.Weight == mst),
 		})
 	}
 	return tab
@@ -383,12 +385,12 @@ func T6(sc Scale) *Table {
 		ins := steiner.NewInstance(g)
 		ins.SetComponent(0, 0, pn-1)
 		ins.SetComponent(1, 2, pn-3)
-		full, err := randforest.Solve(ins, randforest.ModeFull, congest.WithSeed(11))
+		full, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "rand", Seed: 11, NoCertificate: true})
 		if err != nil {
 			tab.Notes = append(tab.Notes, err.Error())
 			continue
 		}
-		trunc, err := randforest.Solve(ins, randforest.ModeTruncated, congest.WithSeed(11))
+		trunc, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "trunc", Seed: 11, NoCertificate: true})
 		if err != nil {
 			tab.Notes = append(tab.Notes, err.Error())
 			continue
@@ -397,7 +399,7 @@ func T6(sc Scale) *Table {
 		tab.Rows = append(tab.Rows, []string{
 			d(g.N()), d(s), f(math.Sqrt(float64(g.N()))),
 			d(full.Stats.Rounds), d(trunc.Stats.Rounds),
-			d64(full.Solution.Weight(g)), d64(trunc.Solution.Weight(g)),
+			d64(full.Weight), d64(trunc.Weight),
 		})
 	}
 	tab.Notes = append(tab.Notes,
@@ -415,6 +417,7 @@ func F1(sc Scale) *Table {
 		Claim:  "Lemmas 3.1/3.3: any correct algorithm moves Omega(n) bits across the cut",
 		Header: []string{"gadget", "universe", "answer", "decoded", "cut bits", "bits/universe"},
 	}
+	tracked := steinerforest.Spec{Algorithm: "det", EdgeTracking: true, NoCertificate: true}
 	for _, n := range []int{4, 8, 16, 32} {
 		nn := n
 		if sc > 1 && nn > 16 {
@@ -423,7 +426,7 @@ func F1(sc Scale) *Table {
 		for _, intersect := range []bool{false, true} {
 			dj := lower.RandomDisjointness(nn, intersect, rng)
 			ic := lower.BuildIC(dj)
-			res, err := detforest.Solve(ic.Instance, congest.WithEdgeTracking())
+			res, err := steinerforest.Solve(ic.Instance, tracked)
 			if err != nil {
 				tab.Notes = append(tab.Notes, err.Error())
 				continue
@@ -435,7 +438,7 @@ func F1(sc Scale) *Table {
 				d64(bits), f(float64(bits) / float64(nn)),
 			})
 			cr := lower.BuildCR(dj, 2)
-			cres, err := detforest.Solve(cr.Instance, congest.WithEdgeTracking())
+			cres, err := steinerforest.Solve(cr.Instance, tracked)
 			if err != nil {
 				tab.Notes = append(tab.Notes, err.Error())
 				continue
@@ -467,9 +470,26 @@ func A1(sc Scale) *Table {
 	}
 }
 
+// Experiment pairs a table's selector key with its runner.
+type Experiment struct {
+	Key string
+	Run func(Scale) *Table
+}
+
+// Index is the ordered experiment registry — the single source of truth
+// for All and for cmd/dsfbench's table selection.
+var Index = []Experiment{
+	{"t1", T1}, {"t1b", T1b}, {"t2", T2}, {"t3", T3}, {"t4", T4},
+	{"t5", T5}, {"t6", T6}, {"f1", F1}, {"a1", A1}, {"e1", E1},
+}
+
 // All returns every experiment in index order.
 func All(sc Scale) []*Table {
-	return []*Table{T1(sc), T1b(sc), T2(sc), T3(sc), T4(sc), T5(sc), T6(sc), F1(sc), A1(sc)}
+	tables := make([]*Table, 0, len(Index))
+	for _, e := range Index {
+		tables = append(tables, e.Run(sc))
+	}
+	return tables
 }
 
 // RenderAll renders the given tables into one report.

@@ -11,6 +11,17 @@
 // direction per round, per-message bit budgets, and explicit termination
 // (the run ends when every node's program returns).
 //
+// The round scheduler is allocation-free on its hot path: duplicate-send
+// and liveness tracking use generation-stamped arrays instead of per-round
+// maps, return ports are found by binary search over the sorted port
+// slices, and messages are placed directly into per-node inbox slots
+// indexed by destination port, so delivery needs no per-round sorting or
+// buffer allocation. With WithParallelism(p) the placement and delivery
+// work is sharded across p workers by destination node; because
+// validation and statistics run in a deterministic serial pass and each
+// shard owns a disjoint node range, a run's Stats and every delivered
+// message are bit-for-bit identical for any parallelism level.
+//
 // Runs are deterministic: inboxes are sorted by port, per-node RNGs are
 // seeded from (seed, node ID), and node programs see only local information
 // (their ID, n, their incident edges) plus whatever messages they receive.
@@ -21,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"steinerforest/internal/graph"
 )
@@ -79,10 +91,11 @@ var ErrBandwidth = errors.New("congest: message exceeds bandwidth")
 var ErrRoundLimit = errors.New("congest: round limit exceeded")
 
 type options struct {
-	bandwidth  int
-	maxRounds  int
-	seed       int64
-	trackEdges bool
+	bandwidth   int
+	maxRounds   int
+	seed        int64
+	trackEdges  bool
+	parallelism int
 }
 
 // Option configures Run.
@@ -102,6 +115,12 @@ func WithSeed(s int64) Option { return func(o *options) { o.seed = s } }
 // WithEdgeTracking enables per-edge bit counters in Stats.EdgeBits.
 func WithEdgeTracking() Option { return func(o *options) { o.trackEdges = true } }
 
+// WithParallelism shards message placement and delivery across p workers
+// (default 1 = serial). Determinism is preserved exactly: for a fixed seed
+// the run delivers identical messages and returns identical Stats at every
+// parallelism level.
+func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p } }
+
 // DefaultBandwidth is the per-edge budget used when none is given:
 // 32 words of ceil(log2(n+1)) bits, a generous O(log n).
 func DefaultBandwidth(n int) int {
@@ -118,12 +137,12 @@ func DefaultBandwidth(n int) int {
 // Host is a node's handle to the simulation. All methods are to be called
 // only from that node's program goroutine.
 type Host struct {
-	id     int
-	n      int
-	ports  []graph.Half // incident edges sorted by neighbor ID
-	portOf map[int]int
-	rng    *rand.Rand
-	round  int
+	id      int
+	n       int
+	ports   []graph.Half // incident edges sorted by neighbor ID
+	rng     *rand.Rand   // lazily created on first Rand call
+	rngSeed int64
+	round   int
 
 	submit chan<- submission
 	reply  chan []Recv
@@ -146,10 +165,14 @@ func (h *Host) Neighbor(port int) int { return h.ports[port].To }
 // Weight returns the weight of the edge at the given port.
 func (h *Host) Weight(port int) int64 { return h.ports[port].Weight }
 
-// PortOf returns the port leading to the given neighbor, if adjacent.
+// PortOf returns the port leading to the given neighbor, if adjacent. It
+// is a binary search over the port slice (ports are sorted by neighbor).
 func (h *Host) PortOf(node int) (int, bool) {
-	p, ok := h.portOf[node]
-	return p, ok
+	i := sort.Search(len(h.ports), func(j int) bool { return h.ports[j].To >= node })
+	if i < len(h.ports) && h.ports[i].To == node {
+		return i, true
+	}
+	return 0, false
 }
 
 // EdgeIndex returns the underlying graph edge index of the given port,
@@ -159,18 +182,26 @@ func (h *Host) EdgeIndex(port int) int { return h.ports[port].Index }
 // Round returns the number of completed communication rounds.
 func (h *Host) Round() int { return h.round }
 
-// Rand returns this node's private random source.
-func (h *Host) Rand() *rand.Rand { return h.rng }
+// Rand returns this node's private random source, seeded deterministically
+// from (run seed, node ID). It is created on first use, so protocols that
+// never draw randomness pay no seeding cost.
+func (h *Host) Rand() *rand.Rand {
+	if h.rng == nil {
+		h.rng = rand.New(rand.NewSource(h.rngSeed))
+	}
+	return h.rng
+}
 
 // Exchange sends out and blocks until the round completes, returning the
 // messages received (sorted by port). Passing nil sends nothing. Sending
 // two messages on one port in a single round panics: the model allows one.
+//
+// The returned slice aliases an engine-owned buffer that is reused: it is
+// valid only until this node's next call to Exchange.
 func (h *Host) Exchange(out []Send) []Recv {
-	select {
-	case h.submit <- submission{node: h.id, out: out, reply: h.reply}:
-	case <-h.abort:
-		panic(abortSentinel{})
-	}
+	// The submit channel holds one slot per node and every node has at most
+	// one submission in flight, so this send never blocks.
+	h.submit <- submission{node: h.id, out: out}
 	select {
 	case in := <-h.reply:
 		h.round++
@@ -190,11 +221,42 @@ func (h *Host) Idle(rounds int) {
 type abortSentinel struct{}
 
 type submission struct {
-	node  int
-	out   []Send
-	reply chan []Recv
-	done  bool
-	err   error
+	node int
+	out  []Send
+	done bool
+	err  error
+}
+
+// routed is a validated message en route to its destination shard.
+type routed struct {
+	dst, dstPort, from int32
+	msg                Message
+}
+
+// engine holds the reusable round-scheduler state. All per-round bookkeeping
+// is generation-stamped: a cell is live for the current round iff its stamp
+// equals gen, so no per-round clearing or allocation is needed.
+type engine struct {
+	n     int
+	o     options
+	stats *Stats
+	hosts []*Host
+
+	alive     []bool       // node still running
+	subs      []submission // this round's submission, indexed by node
+	shardSubs [][]int32    // per shard: nodes that exchanged this round
+	sentGen   [][]uint32   // per node per port: duplicate-send stamp
+	slots     [][]Recv     // per node per port: inbox slot
+	slotGen   [][]uint32   // stamp: slot filled this round
+	touched   [][]int32    // per node: ports filled this round (unsorted)
+	tGen      []uint32     // stamp: touched[v] reset this round
+	outBuf    [][]Recv     // per node: reusable delivery buffer
+	gen       uint32
+
+	shardOf []int32    // dst node -> shard
+	buckets [][]routed // per shard: validated messages of this round (p > 1)
+	start   []chan struct{}
+	wg      sync.WaitGroup
 }
 
 // Run executes program on every node of g and returns aggregate statistics.
@@ -202,8 +264,9 @@ type submission struct {
 // duplicate port sends, bad port), or the round cap is reached.
 func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	o := options{
-		maxRounds: 2_000_000,
-		seed:      1,
+		maxRounds:   2_000_000,
+		seed:        1,
+		parallelism: 1,
 	}
 	for _, fn := range opts {
 		fn(&o)
@@ -219,6 +282,14 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	if n == 0 {
 		return stats, nil
 	}
+	p := o.parallelism
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	o.parallelism = p
 
 	subCh := make(chan submission, n)
 	abort := make(chan struct{})
@@ -229,24 +300,63 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		}
 	}()
 
-	hosts := make([]*Host, n)
+	e := &engine{
+		n:         n,
+		o:         o,
+		stats:     stats,
+		hosts:     make([]*Host, n),
+		alive:     make([]bool, n),
+		subs:      make([]submission, n),
+		shardSubs: make([][]int32, p),
+		sentGen:   make([][]uint32, n),
+		slots:     make([][]Recv, n),
+		slotGen:   make([][]uint32, n),
+		touched:   make([][]int32, n),
+		tGen:      make([]uint32, n),
+		outBuf:    make([][]Recv, n),
+		gen:       1,
+		shardOf:   make([]int32, n),
+		buckets:   make([][]routed, p),
+	}
+	for v := 0; v < n; v++ {
+		e.shardOf[v] = int32(v * p / n)
+	}
 	for v := 0; v < n; v++ {
 		ports := g.Neighbors(v)
-		portOf := make(map[int]int, len(ports))
-		for p, half := range ports {
-			portOf[half.To] = p
+		e.hosts[v] = &Host{
+			id:      v,
+			n:       n,
+			ports:   ports,
+			rngSeed: o.seed + int64(v)*0x9E3779B9,
+			submit:  subCh,
+			reply:   make(chan []Recv, 1),
+			abort:   abort,
 		}
-		hosts[v] = &Host{
-			id:     v,
-			n:      n,
-			ports:  ports,
-			portOf: portOf,
-			rng:    rand.New(rand.NewSource(o.seed + int64(v)*0x9E3779B9)),
-			submit: subCh,
-			reply:  make(chan []Recv, 1),
-			abort:  abort,
+		e.alive[v] = true
+		e.sentGen[v] = make([]uint32, len(ports))
+		e.slots[v] = make([]Recv, len(ports))
+		e.slotGen[v] = make([]uint32, len(ports))
+		e.touched[v] = make([]int32, 0, len(ports))
+		e.outBuf[v] = make([]Recv, 0, len(ports))
+		go runNode(e.hosts[v], program, subCh)
+	}
+	if p > 1 {
+		e.start = make([]chan struct{}, p)
+		for w := 1; w < p; w++ {
+			w := w
+			e.start[w] = make(chan struct{})
+			go func() {
+				for range e.start[w] {
+					e.runShard(w)
+					e.wg.Done()
+				}
+			}()
 		}
-		go runNode(hosts[v], program, subCh)
+		defer func() {
+			for w := 1; w < p; w++ {
+				close(e.start[w])
+			}
+		}()
 	}
 
 	fail := func(err error) (*Stats, error) {
@@ -256,11 +366,9 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	}
 
 	running := n
-	exch := make([]submission, 0, n)
-	inboxes := make([][]Recv, n)
 	for running > 0 {
-		exch = exch[:0]
 		expect := running
+		exchCount := 0
 		for i := 0; i < expect; i++ {
 			s := <-subCh
 			switch {
@@ -268,72 +376,141 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 				return fail(s.err)
 			case s.done:
 				running--
+				e.alive[s.node] = false
 			default:
-				exch = append(exch, s)
+				e.subs[s.node] = s
+				sh := e.shardOf[s.node]
+				e.shardSubs[sh] = append(e.shardSubs[sh], int32(s.node))
+				exchCount++
 			}
 		}
-		if len(exch) == 0 {
+		if exchCount == 0 {
 			break
 		}
 		if stats.Rounds >= o.maxRounds {
 			return fail(fmt.Errorf("%w (%d)", ErrRoundLimit, o.maxRounds))
 		}
-		// Route messages.
-		for _, s := range exch {
-			h := hosts[s.node]
-			seen := make(map[int]bool, len(s.out))
-			for _, snd := range s.out {
-				if snd.Port < 0 || snd.Port >= len(h.ports) {
-					return fail(fmt.Errorf("congest: node %d sent on invalid port %d", s.node, snd.Port))
+		// Serial pass: validate, account, and route every send. All stats
+		// are order-independent sums and maxima and every message lands in
+		// a slot keyed by (destination, port), so the arrival order of
+		// submissions cannot influence the outcome. With p == 1 messages
+		// are placed immediately; otherwise they are handed to the
+		// destination shard's bucket.
+		for w := 0; w < p; w++ {
+			for _, v32 := range e.shardSubs[w] {
+				v := int(v32)
+				h := e.hosts[v]
+				for _, snd := range e.subs[v].out {
+					if snd.Port < 0 || snd.Port >= len(h.ports) {
+						return fail(fmt.Errorf("congest: node %d sent on invalid port %d", v, snd.Port))
+					}
+					if e.sentGen[v][snd.Port] == e.gen {
+						return fail(fmt.Errorf("congest: node %d sent twice on port %d in one round", v, snd.Port))
+					}
+					e.sentGen[v][snd.Port] = e.gen
+					if snd.Msg == nil {
+						return fail(fmt.Errorf("congest: node %d sent nil message", v))
+					}
+					b := snd.Msg.Bits()
+					if b > o.bandwidth {
+						return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, v))
+					}
+					stats.Messages++
+					stats.Bits += int64(b)
+					if b > stats.MaxMessageBits {
+						stats.MaxMessageBits = b
+					}
+					if stats.EdgeBits != nil {
+						stats.EdgeBits[h.ports[snd.Port].Index] += int64(b)
+					}
+					dst := h.ports[snd.Port].To
+					if !e.alive[dst] {
+						stats.DroppedToTerminated++
+						continue
+					}
+					dstPort, ok := e.hosts[dst].PortOf(v)
+					if !ok {
+						return fail(fmt.Errorf("congest: no return port from %d to %d", dst, v))
+					}
+					if p == 1 {
+						e.place(dst, dstPort, v, snd.Msg)
+					} else {
+						sh := e.shardOf[dst]
+						e.buckets[sh] = append(e.buckets[sh], routed{
+							dst: int32(dst), dstPort: int32(dstPort), from: int32(v), msg: snd.Msg,
+						})
+					}
 				}
-				if seen[snd.Port] {
-					return fail(fmt.Errorf("congest: node %d sent twice on port %d in one round", s.node, snd.Port))
-				}
-				seen[snd.Port] = true
-				if snd.Msg == nil {
-					return fail(fmt.Errorf("congest: node %d sent nil message", s.node))
-				}
-				b := snd.Msg.Bits()
-				if b > o.bandwidth {
-					return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, s.node))
-				}
-				stats.Messages++
-				stats.Bits += int64(b)
-				if b > stats.MaxMessageBits {
-					stats.MaxMessageBits = b
-				}
-				if stats.EdgeBits != nil {
-					stats.EdgeBits[h.ports[snd.Port].Index] += int64(b)
-				}
-				dst := h.ports[snd.Port].To
-				dh := hosts[dst]
-				dstPort, ok := dh.portOf[s.node]
-				if !ok {
-					return fail(fmt.Errorf("congest: no return port from %d to %d", dst, s.node))
-				}
-				inboxes[dst] = append(inboxes[dst], Recv{Port: dstPort, From: s.node, Msg: snd.Msg})
 			}
 		}
 		stats.Rounds++
-		// Deliver, discarding mail to terminated nodes.
-		live := make(map[int]bool, len(exch))
-		for _, s := range exch {
-			live[s.node] = true
-		}
-		for v := range inboxes {
-			if len(inboxes[v]) > 0 && !live[v] {
-				stats.DroppedToTerminated += int64(len(inboxes[v]))
-				inboxes[v] = nil
+		// Sharded placement + delivery; shard 0 runs on this goroutine.
+		if p > 1 {
+			e.wg.Add(p - 1)
+			for w := 1; w < p; w++ {
+				e.start[w] <- struct{}{}
 			}
 		}
-		for _, s := range exch {
-			in := inboxes[s.node]
-			inboxes[s.node] = nil
-			sort.Slice(in, func(a, b int) bool { return in[a].Port < in[b].Port })
-			s.reply <- in
+		e.runShard(0)
+		if p > 1 {
+			e.wg.Wait()
 		}
+		for w := 0; w < p; w++ {
+			e.buckets[w] = e.buckets[w][:0]
+			e.shardSubs[w] = e.shardSubs[w][:0]
+		}
+		e.gen++
 	}
 	return stats, nil
+}
+
+// place stores one message in its destination's inbox slot.
+func (e *engine) place(dst, dstPort, from int, msg Message) {
+	if e.tGen[dst] != e.gen {
+		e.tGen[dst] = e.gen
+		e.touched[dst] = e.touched[dst][:0]
+	}
+	e.slots[dst][dstPort] = Recv{Port: dstPort, From: from, Msg: msg}
+	e.slotGen[dst][dstPort] = e.gen
+	e.touched[dst] = append(e.touched[dst], int32(dstPort))
+}
+
+// runShard places the shard's routed messages into destination inbox slots
+// and delivers each exchanging node's port-ordered inbox. Shards own
+// disjoint destination ranges, so workers touch disjoint state.
+func (e *engine) runShard(w int) {
+	gen := e.gen
+	for _, rt := range e.buckets[w] {
+		e.place(int(rt.dst), int(rt.dstPort), int(rt.from), rt.msg)
+	}
+	for _, v32 := range e.shardSubs[w] {
+		v := int(v32)
+		buf := e.outBuf[v][:0]
+		if e.tGen[v] == gen {
+			ports := e.touched[v]
+			if deg := len(e.slots[v]); len(ports)*4 >= deg {
+				// Dense round: scan the slots in port order.
+				sg := e.slotGen[v]
+				for q := 0; q < deg; q++ {
+					if sg[q] == gen {
+						buf = append(buf, e.slots[v][q])
+					}
+				}
+			} else {
+				// Sparse round: order the few touched ports in place.
+				for i := 1; i < len(ports); i++ {
+					for j := i; j > 0 && ports[j] < ports[j-1]; j-- {
+						ports[j], ports[j-1] = ports[j-1], ports[j]
+					}
+				}
+				for _, q := range ports {
+					buf = append(buf, e.slots[v][q])
+				}
+			}
+		}
+		e.outBuf[v] = buf
+		e.hosts[v].reply <- buf
+	}
 }
 
 func runNode(h *Host, program Program, subCh chan<- submission) {

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"steinerforest/internal/congest"
+	"steinerforest/internal/rational"
+)
+
+// BFConfig configures a distributed multi-source Bellman-Ford run.
+type BFConfig struct {
+	// IsSource marks this node as a source at distance zero.
+	IsSource bool
+	// SourceID is the identity this node propagates when it is a source
+	// (e.g. the owning terminal, or a Voronoi cell id). Sources never adopt
+	// another source's identity, even at distance ties.
+	SourceID int
+	// EdgeWeight overrides the per-port weight (default: the graph weight
+	// as an exact rational). Zero weights are allowed.
+	EdgeWeight func(port int) rational.Q
+	// UsePort restricts relaxation to the ports for which it returns true
+	// (default: all). The predicate must be symmetric across an edge.
+	UsePort func(port int) bool
+}
+
+// BFResult is a node's outcome of a Bellman-Ford run.
+type BFResult struct {
+	Reached    bool       // some source reaches this node
+	Source     int        // the winning source id (-1 if unreached)
+	Dist       rational.Q // distance to the winning source
+	ParentPort int        // port toward the predecessor; -1 at sources/unreached
+}
+
+// BellmanFord runs multi-source Bellman-Ford under the configured weights
+// to global quiescence (Lemma 4.8's terminal decomposition device): every
+// node learns its distance to the nearest source, the source's identity,
+// and its parent port on the winning path. Ties are broken by smaller
+// (distance, source id, predecessor id), so the result is deterministic.
+// All nodes enter and leave in the same round.
+func BellmanFord(h *congest.Host, t *Tree, cfg BFConfig) BFResult {
+	deg := h.Degree()
+	ew := cfg.EdgeWeight
+	if ew == nil {
+		ew = func(port int) rational.Q { return rational.FromInt(h.Weight(port)) }
+	}
+	usable := make([]bool, deg)
+	for p := 0; p < deg; p++ {
+		usable[p] = cfg.UsePort == nil || cfg.UsePort(p)
+	}
+	res := BFResult{Source: -1, ParentPort: -1}
+	bestFrom := -1 // predecessor node id of the adopted offer
+	pending := false
+	if cfg.IsSource {
+		res = BFResult{Reached: true, Source: cfg.SourceID, ParentPort: -1}
+		pending = true
+	}
+
+	step := func(_ int, in []congest.Recv) ([]congest.Send, bool) {
+		for _, rc := range in {
+			m, ok := rc.Msg.(bfMsg)
+			if !ok || !usable[rc.Port] || cfg.IsSource {
+				continue
+			}
+			cand := m.dist.Add(ew(rc.Port))
+			from := h.Neighbor(rc.Port)
+			better := !res.Reached
+			if !better {
+				switch c := cand.Cmp(res.Dist); {
+				case c < 0:
+					better = true
+				case c == 0 && m.src < res.Source:
+					better = true
+				case c == 0 && m.src == res.Source && from < bestFrom:
+					better = true
+				}
+			}
+			if better {
+				res.Reached = true
+				res.Dist = cand
+				res.Source = m.src
+				res.ParentPort = rc.Port
+				bestFrom = from
+				pending = true
+			}
+		}
+		if !pending {
+			return nil, false
+		}
+		pending = false
+		var out []congest.Send
+		for p := 0; p < deg; p++ {
+			if usable[p] {
+				out = append(out, congest.Send{Port: p, Msg: bfMsg{src: res.Source, dist: res.Dist}})
+			}
+		}
+		return out, false
+	}
+	RunQuiet(h, t, step)
+	return res
+}

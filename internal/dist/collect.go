@@ -1,0 +1,324 @@
+package dist
+
+import (
+	"sort"
+
+	"steinerforest/internal/congest"
+)
+
+// UpcastBroadcast collects the nodes' local items into one globally sorted,
+// filtered stream known to every node (the paper's pipelined upcast +
+// broadcast, Lemma 4.14): items flow up the BFS tree in ascending order,
+// one per tree edge per round, interior nodes merge their children's
+// streams with their own and prune them through a speculative replica of
+// the filter (Corollary 4.16), and the root's accepted stream is pipelined
+// back down. Every node returns the identical accepted slice, in order.
+//
+// newFilter, when non-nil, is called once per node to create that node's
+// filter replica; see Filter for the required monotonicity. stopAfter,
+// evaluated at the root over accepted items, ends the stream after (and
+// including) the first item for which it returns true — the "phase-ending
+// merge" device of Section 4. Both may be nil.
+//
+// Rounds: O(height + items surviving the interior filters).
+func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Filter, stopAfter func(Item) bool) []Item {
+	sort.SliceStable(local, func(i, j int) bool { return local[i].Less(local[j]) })
+	var filter Filter
+	if newFilter != nil {
+		filter = newFilter()
+	}
+	if h.N() <= 1 {
+		var acc []Item
+		for _, it := range local {
+			if filter != nil && !filter(it) {
+				continue
+			}
+			acc = append(acc, it)
+			if stopAfter != nil && stopAfter(it) {
+				break
+			}
+		}
+		return acc
+	}
+
+	root := t.IsRoot()
+	nc := len(t.ChildPorts)
+	childOf := make([]int, h.Degree()) // port -> child index, -1 otherwise
+	for p := range childOf {
+		childOf[p] = -1
+	}
+	for i, p := range t.ChildPorts {
+		childOf[p] = i
+	}
+	queues := make([][]Item, nc) // per-child pending items, ascending
+	done := make([]bool, nc)
+	ownNext := 0
+
+	// canPop reports whether the smallest remaining item of this subtree is
+	// determined: every child stream has a visible head or has ended, and
+	// at least one item is available.
+	canPop := func() bool {
+		any := ownNext < len(local)
+		for i := 0; i < nc; i++ {
+			if len(queues[i]) > 0 {
+				any = true
+			} else if !done[i] {
+				return false
+			}
+		}
+		return any
+	}
+	popMin := func() Item {
+		best := -1 // -1 = own list
+		var bestIt Item
+		if ownNext < len(local) {
+			bestIt = local[ownNext]
+		}
+		for i := 0; i < nc; i++ {
+			if len(queues[i]) == 0 {
+				continue
+			}
+			if bestIt == nil || queues[i][0].Less(bestIt) {
+				best, bestIt = i, queues[i][0]
+			}
+		}
+		if best < 0 {
+			ownNext++
+		} else {
+			queues[best] = queues[best][1:]
+		}
+		return bestIt
+	}
+	allEnded := func() bool {
+		if ownNext < len(local) {
+			return false
+		}
+		for i := 0; i < nc; i++ {
+			if !done[i] || len(queues[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var accepted []Item // root: the final stream
+	var result []Item   // non-root: received from the broadcast
+	finalized := false  // root: stream complete, broadcasting
+	downIdx := 0
+	var fwd []Item // non-root: forward queue for the broadcast
+	fwdEnd := false
+	sawDown := false
+	upDoneSent := false
+	exitAt := -1
+
+	for r := 0; ; r++ {
+		var out []congest.Send
+		if root && finalized {
+			switch {
+			case downIdx < len(accepted):
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: downItem{it: accepted[downIdx]}})
+				}
+				downIdx++
+			case downIdx == len(accepted):
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: downEnd{}})
+				}
+				downIdx++
+				exitAt = r + t.Height - 1
+			}
+		}
+		if !root {
+			if len(fwd) > 0 {
+				it := fwd[0]
+				fwd = fwd[1:]
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
+				}
+			} else if fwdEnd {
+				fwdEnd = false
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: downEnd{}})
+				}
+			}
+			if !sawDown && !upDoneSent {
+				sent := false
+				for canPop() {
+					it := popMin()
+					if filter == nil || filter(it) {
+						out = append(out, congest.Send{Port: t.ParentPort, Msg: upItem{it: it}})
+						sent = true
+						break
+					}
+				}
+				if !sent && allEnded() {
+					out = append(out, congest.Send{Port: t.ParentPort, Msg: upDone{}})
+					upDoneSent = true
+				}
+			}
+		}
+
+		for _, rc := range h.Exchange(out) {
+			switch m := rc.Msg.(type) {
+			case upItem:
+				queues[childOf[rc.Port]] = append(queues[childOf[rc.Port]], m.it)
+			case upDone:
+				done[childOf[rc.Port]] = true
+			case downItem:
+				sawDown = true
+				result = append(result, m.it)
+				if nc > 0 {
+					fwd = append(fwd, m.it)
+				}
+			case downEnd:
+				sawDown = true
+				if nc > 0 {
+					fwdEnd = true
+				}
+				exitAt = r + t.Height - t.Depth
+			}
+		}
+
+		if root && !finalized {
+			for canPop() {
+				it := popMin()
+				if filter != nil && !filter(it) {
+					continue
+				}
+				accepted = append(accepted, it)
+				if stopAfter != nil && stopAfter(it) {
+					finalized = true
+					break
+				}
+			}
+			if !finalized && allEnded() {
+				finalized = true
+			}
+		}
+		if exitAt >= 0 && r >= exitAt {
+			if root {
+				return accepted
+			}
+			return result
+		}
+	}
+}
+
+// BroadcastList delivers the root's message list to every node: the root
+// streams its items down the BFS tree one per round followed by an end
+// marker, interior nodes forward with one round of latency, and all nodes
+// exit in the same round. Non-root callers pass nil (their argument is
+// ignored); every node returns the root's list in order.
+func BroadcastList(h *congest.Host, t *Tree, items []congest.Message) []congest.Message {
+	if h.N() <= 1 {
+		return items
+	}
+	root := t.IsRoot()
+	nc := len(t.ChildPorts)
+	var result []congest.Message
+	if root {
+		result = items
+	}
+	downIdx := 0
+	var fwd []congest.Message
+	fwdEnd := false
+	exitAt := -1
+
+	for r := 0; ; r++ {
+		var out []congest.Send
+		if root {
+			switch {
+			case downIdx < len(items):
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: items[downIdx]}})
+				}
+				downIdx++
+			case downIdx == len(items):
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: bcastEnd{}})
+				}
+				downIdx++
+				exitAt = r + t.Height - 1
+			}
+		} else {
+			if len(fwd) > 0 {
+				m := fwd[0]
+				fwd = fwd[1:]
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
+				}
+			} else if fwdEnd {
+				fwdEnd = false
+				for _, p := range t.ChildPorts {
+					out = append(out, congest.Send{Port: p, Msg: bcastEnd{}})
+				}
+			}
+		}
+		for _, rc := range h.Exchange(out) {
+			switch m := rc.Msg.(type) {
+			case bcastMsg:
+				result = append(result, m.m)
+				if nc > 0 {
+					fwd = append(fwd, m.m)
+				}
+			case bcastEnd:
+				if nc > 0 {
+					fwdEnd = true
+				}
+				exitAt = r + t.Height - t.Depth
+			}
+		}
+		if exitAt >= 0 && r >= exitAt {
+			return result
+		}
+	}
+}
+
+// Max computes the global maximum of the nodes' values by a convergecast up
+// the BFS tree and a synchronized broadcast of the result; every node
+// returns the maximum in the same round.
+func Max(h *congest.Host, t *Tree, v int64) int64 {
+	if h.N() <= 1 {
+		return v
+	}
+	root := t.IsRoot()
+	best := v
+	pending := len(t.ChildPorts)
+	sendUpAt, sendDownAt, forwardAt, exitAt := -1, -1, -1, -1
+	for r := 0; ; r++ {
+		var out []congest.Send
+		if r == sendUpAt {
+			out = append(out, congest.Send{Port: t.ParentPort, Msg: maxUpMsg{v: best}})
+		}
+		if r == sendDownAt || r == forwardAt {
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Msg: maxDownMsg{v: best}})
+			}
+		}
+		for _, rc := range h.Exchange(out) {
+			switch m := rc.Msg.(type) {
+			case maxUpMsg:
+				if m.v > best {
+					best = m.v
+				}
+				pending--
+			case maxDownMsg:
+				best = m.v
+				exitAt = r + t.Height - t.Depth
+				forwardAt = r + 1
+			}
+		}
+		if pending == 0 && sendUpAt < 0 && sendDownAt < 0 && exitAt < 0 {
+			if root {
+				sendDownAt = r + 1
+				exitAt = r + t.Height
+			} else {
+				sendUpAt = r + 1
+				pending = -1
+			}
+		}
+		if exitAt >= 0 && r >= exitAt {
+			return best
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package dist provides the distributed building blocks the paper's node
+// programs are written in: a BFS spanning tree (the communication backbone
+// of Section 4 and Appendix E), pipelined filtered upcast + broadcast of
+// sorted item streams (Lemma 4.14 / Corollary 4.16), distributed
+// multi-source Bellman-Ford under arbitrary per-port weights (Lemma 4.8),
+// tree aggregates, and a run-to-global-quiescence driver for ad-hoc message
+// passing protocols.
+//
+// Every primitive is globally synchronized: all nodes of the network enter
+// it in the same communication round and leave it in the same round, so a
+// node program can call a sequence of primitives and plain Host.Exchange
+// rounds without any cross-primitive message confusion. Synchronous exits
+// are scheduled from the globally known BFS tree height: a node receiving
+// the closing control message at round R and depth d leaves at round
+// R + height - d, the round by which the message has reached the deepest
+// node.
+//
+// All primitives assume a connected graph (as the paper does); on a
+// disconnected graph the unreachable side never learns the tree and the
+// simulation hits its round cap.
+package dist
+
+import (
+	"steinerforest/internal/congest"
+	"steinerforest/internal/rational"
+)
+
+// Item is a payload that can be collected by UpcastBroadcast: a CONGEST
+// message with a deterministic total order. Less must be a strict total
+// order on the item type (ties broken by content), so that every node
+// derives the identical sorted stream.
+type Item interface {
+	congest.Message
+	Less(o Item) bool
+}
+
+// Filter decides whether an item of a sorted stream is accepted given the
+// items accepted before it. Filters are stateful; UpcastBroadcast
+// instantiates a fresh one per node via its factory argument, letting
+// interior tree nodes prune their partial streams speculatively
+// (Corollary 4.16). For that pruning to be sound the filter must be
+// monotone: an item rejected against a subset of its true predecessors
+// must also be rejected against all of them (union-find style filters and
+// count caps have this property).
+type Filter func(Item) bool
+
+// Control and envelope messages of the primitives. They only need to be
+// distinguishable from user payload types by a type switch; headers are
+// accounted at 2 bits.
+
+type upItem struct{ it Item }
+
+func (m upItem) Bits() int { return m.it.Bits() + 2 }
+
+type upDone struct{}
+
+func (upDone) Bits() int { return 2 }
+
+type downItem struct{ it Item }
+
+func (m downItem) Bits() int { return m.it.Bits() + 2 }
+
+type downEnd struct{}
+
+func (downEnd) Bits() int { return 2 }
+
+type bcastMsg struct{ m congest.Message }
+
+func (m bcastMsg) Bits() int { return m.m.Bits() + 2 }
+
+type bcastEnd struct{}
+
+func (bcastEnd) Bits() int { return 2 }
+
+type maxUpMsg struct{ v int64 }
+
+func (maxUpMsg) Bits() int { return 2 + 64 }
+
+type maxDownMsg struct{ v int64 }
+
+func (maxDownMsg) Bits() int { return 2 + 64 }
+
+type bfMsg struct {
+	src  int
+	dist rational.Q
+}
+
+func (m bfMsg) Bits() int { return 2 + 24 + m.dist.Bits() }

@@ -1,0 +1,98 @@
+package dist
+
+import "steinerforest/internal/congest"
+
+// Step is one round of a RunQuiet protocol: it receives the payload
+// messages delivered last round and returns this round's sends plus an
+// activity flag. A step that returns no sends and reports inactive must
+// stay that way under empty input (no spontaneous reactivation) — receipt
+// of a message may reactivate it.
+type Step func(round int, in []congest.Recv) ([]congest.Send, bool)
+
+type quietMsg struct{}
+
+func (quietMsg) Bits() int { return 2 }
+
+type exitMsg struct{}
+
+func (exitMsg) Bits() int { return 2 }
+
+// RunQuiet drives step until the whole network is quiescent — every node
+// inactive with nothing to send and no payload in flight — and returns on
+// all nodes in the same round. Communication rounds alternate between
+// payload rounds (even) and control rounds (odd): on control rounds, a
+// pipelined convergecast of per-round quietness bits flows up the BFS tree
+// (a node at depth d reports payload round rr at control slot
+// rr + height - d, so the root sees a consistent global snapshot of every
+// payload round), and once the root observes a globally quiet round it
+// broadcasts a synchronized exit.
+//
+// The step's round counter counts payload rounds only.
+func RunQuiet(h *congest.Host, t *Tree, step Step) {
+	if h.N() <= 1 {
+		for p := 0; ; p++ {
+			out, active := step(p, nil)
+			if len(out) > 0 {
+				panic("dist: RunQuiet step sent on an edgeless graph")
+			}
+			if !active {
+				return
+			}
+		}
+	}
+
+	height, depth := t.Height, t.Depth
+	nc := len(t.ChildPorts)
+	lag := height - depth
+	hist := make([]bool, lag+1) // ownQuiet for payload slots s-lag..s
+	lastCount := 0              // quiet bits received in the previous control slot
+	detected := false           // root: a globally quiet round was observed
+	sendExitAt, exitAt := -1, -1
+	suppress := false // stop reporting once the exit wave arrived
+
+	out, active := step(0, nil)
+	for s := 0; ; s++ {
+		// Payload slot s: out/active were produced by step(s, ...).
+		hist[s%(lag+1)] = len(out) == 0 && !active
+		pin := h.Exchange(out)
+		out, active = step(s+1, pin)
+
+		// Control slot s.
+		var ctrl []congest.Send
+		rr := s - lag
+		if !t.IsRoot() && !suppress && rr >= 0 {
+			if hist[rr%(lag+1)] && lastCount == nc {
+				ctrl = append(ctrl, congest.Send{Port: t.ParentPort, Msg: quietMsg{}})
+			}
+		}
+		if s == sendExitAt {
+			for _, p := range t.ChildPorts {
+				ctrl = append(ctrl, congest.Send{Port: p, Msg: exitMsg{}})
+			}
+		}
+		count := 0
+		for _, rc := range h.Exchange(ctrl) {
+			switch rc.Msg.(type) {
+			case quietMsg:
+				count++
+			case exitMsg:
+				suppress = true
+				exitAt = s + height - depth
+				sendExitAt = s + 1
+			}
+		}
+		lastCount = count
+		if t.IsRoot() && !detected {
+			// Children (depth 1) report payload round s-(height-1) at slot s.
+			rrc := s - height + 1
+			if rrc >= 0 && count == nc && hist[rrc%(lag+1)] {
+				detected = true
+				sendExitAt = s + 1
+				exitAt = s + height
+			}
+		}
+		if exitAt >= 0 && s >= exitAt {
+			return
+		}
+	}
+}

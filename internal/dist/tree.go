@@ -1,0 +1,125 @@
+package dist
+
+import "steinerforest/internal/congest"
+
+// Tree is a node's local view of the global BFS spanning tree rooted at
+// node 0: its depth, parent port, child ports, and the globally known tree
+// height, which every synchronized primitive uses to schedule simultaneous
+// exits.
+type Tree struct {
+	Root       int   // root node id (always 0)
+	Depth      int   // this node's BFS depth
+	Height     int   // maximum depth over all nodes (global knowledge)
+	ParentPort int   // port toward the parent; -1 at the root
+	ChildPorts []int // ports of the children, ascending
+}
+
+// IsRoot reports whether this node is the tree root.
+func (t *Tree) IsRoot() bool { return t.ParentPort < 0 }
+
+type exploreMsg struct{}
+
+func (exploreMsg) Bits() int { return 2 }
+
+type acceptMsg struct{}
+
+func (acceptMsg) Bits() int { return 2 }
+
+type doneUpMsg struct{ maxDepth int }
+
+func (doneUpMsg) Bits() int { return 2 + 24 }
+
+type finishMsg struct{ height int }
+
+func (finishMsg) Bits() int { return 2 + 24 }
+
+// BuildBFS constructs the BFS spanning tree rooted at node 0 in O(D)
+// rounds: a layered explore/accept flood builds levels and child sets, a
+// completion convergecast carries the maximum depth to the root, and a
+// final finish broadcast delivers the height with a synchronized exit (all
+// nodes return in the same round).
+func BuildBFS(h *congest.Host) *Tree {
+	t := &Tree{Root: 0, ParentPort: -1}
+	if h.N() <= 1 {
+		return t
+	}
+	deg := h.Degree()
+	joined := h.ID() == 0
+	exploreAt := 0 // round in which this node floods; -1 until joined
+	if !joined {
+		exploreAt = -1
+	}
+	var children []int
+	childrenKnown := false
+	pendingDone := 0
+	maxDepth := 0
+	sendDoneAt, sendFinishAt, forwardFinishAt, exitAt := -1, -1, -1, -1
+
+	for r := 0; ; r++ {
+		var out []congest.Send
+		if joined && r == exploreAt {
+			for p := 0; p < deg; p++ {
+				if p == t.ParentPort {
+					out = append(out, congest.Send{Port: p, Msg: acceptMsg{}})
+				} else {
+					out = append(out, congest.Send{Port: p, Msg: exploreMsg{}})
+				}
+			}
+		}
+		if r == sendDoneAt {
+			out = append(out, congest.Send{Port: t.ParentPort, Msg: doneUpMsg{maxDepth: maxDepth}})
+		}
+		if r == sendFinishAt || r == forwardFinishAt {
+			for _, p := range children {
+				out = append(out, congest.Send{Port: p, Msg: finishMsg{height: t.Height}})
+			}
+		}
+
+		for _, rc := range h.Exchange(out) {
+			switch m := rc.Msg.(type) {
+			case exploreMsg:
+				if !joined {
+					joined = true
+					t.Depth = r + 1
+					t.ParentPort = rc.Port // inbox is port-sorted: lowest explorer wins
+					exploreAt = r + 1
+				}
+			case acceptMsg:
+				children = append(children, rc.Port)
+			case doneUpMsg:
+				if m.maxDepth > maxDepth {
+					maxDepth = m.maxDepth
+				}
+				pendingDone--
+			case finishMsg:
+				t.Height = m.height
+				exitAt = r + t.Height - t.Depth
+				forwardFinishAt = r + 1
+			}
+		}
+
+		// Accepts arrive exactly one round after the flood; afterwards the
+		// child set is final.
+		if joined && r == exploreAt+1 {
+			childrenKnown = true
+			pendingDone = len(children)
+			if t.Depth > maxDepth {
+				maxDepth = t.Depth
+			}
+		}
+		if childrenKnown && pendingDone == 0 && sendDoneAt < 0 && sendFinishAt < 0 && exitAt < 0 {
+			if t.IsRoot() {
+				t.Height = maxDepth
+				sendFinishAt = r + 1
+				exitAt = r + t.Height
+			} else {
+				sendDoneAt = r + 1
+				pendingDone = -1 // sent; never re-trigger
+			}
+		}
+		if exitAt >= 0 && r >= exitAt {
+			t.ChildPorts = children // port-sorted: accepts of one round arrive ordered
+			return t
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package steinerforest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"steinerforest/internal/congest"
+	"steinerforest/internal/detforest"
+	"steinerforest/internal/moat"
+	"steinerforest/internal/randforest"
+)
+
+// Spec is the unified solver configuration: one value selects the
+// algorithm and carries every knob of the simulated execution. The zero
+// value runs the deterministic solver with default settings. All entry
+// points — the CLIs, the benchmark harness, the examples, and the
+// SolveXxx convenience wrappers — funnel through Solve(ins, Spec{...}).
+type Spec struct {
+	// Algorithm names a registered solver ("" = "det"). Built in:
+	//
+	//	det      Section 4.1 deterministic 2-approximation, O(ks+t) rounds
+	//	rounded  Section 4.2 rounded radii, (2+ε)-approximation
+	//	rand     Section 5 randomized O(log n)-approximation
+	//	trunc    rand with the virtual tree cut at √n (the s > √n regime)
+	//	khan     the [14]-style sequential baseline (T4/A1 ablation)
+	//	central  centralized moat-growing oracle (no simulation)
+	Algorithm string
+
+	// EpsNum/EpsDen set ε for the rounded solver (default 1/2).
+	EpsNum, EpsDen int64
+
+	// Truncate switches the randomized solver to its truncated variant
+	// (equivalent to Algorithm "trunc").
+	Truncate bool
+
+	// Seed fixes the simulation randomness; 0 means the default seed 1.
+	Seed int64
+
+	// Bandwidth overrides the per-edge per-round bit budget (0 = default
+	// O(log n) budget, see congest.DefaultBandwidth).
+	Bandwidth int
+
+	// Parallelism shards the simulator's message routing across this many
+	// workers (0 or 1 = serial). Results are bit-identical at every level.
+	Parallelism int
+
+	// MaxRounds overrides the simulator's round safety cap (0 = default).
+	MaxRounds int
+
+	// EdgeTracking records per-edge traffic in Stats.EdgeBits.
+	EdgeTracking bool
+
+	// NoCertificate skips the centralized dual-oracle run that computes
+	// Result.LowerBound — useful for large perf sweeps where the oracle
+	// would dominate the runtime.
+	NoCertificate bool
+}
+
+// options translates the Spec into simulator options.
+func (s Spec) options() []congest.Option {
+	var opts []congest.Option
+	if s.Seed != 0 {
+		opts = append(opts, congest.WithSeed(s.Seed))
+	}
+	if s.Bandwidth != 0 {
+		opts = append(opts, congest.WithBandwidth(s.Bandwidth))
+	}
+	if s.Parallelism > 1 {
+		opts = append(opts, congest.WithParallelism(s.Parallelism))
+	}
+	if s.MaxRounds > 0 {
+		opts = append(opts, congest.WithMaxRounds(s.MaxRounds))
+	}
+	if s.EdgeTracking {
+		opts = append(opts, congest.WithEdgeTracking())
+	}
+	return opts
+}
+
+// SolverFunc runs one algorithm on an instance. Implementations fill the
+// Result's Solution, Weight, Stats and algorithm-specific counters; Solve
+// adds the dual certificate afterwards unless the Spec opts out.
+type SolverFunc func(ins *Instance, spec Spec) (*Result, error)
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]SolverFunc
+}{m: make(map[string]SolverFunc)}
+
+// Register adds a named solver to the registry. It errors on empty names
+// and duplicates.
+func Register(name string, fn SolverFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("steinerforest: invalid solver registration %q", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("steinerforest: solver %q already registered", name)
+	}
+	registry.m[name] = fn
+	return nil
+}
+
+// Algorithms returns the registered solver names, sorted.
+func Algorithms() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Solve runs the solver selected by spec.Algorithm on ins and returns the
+// result, including the certified lower bound on OPT unless
+// spec.NoCertificate is set.
+func Solve(ins *Instance, spec Spec) (*Result, error) {
+	name := spec.Algorithm
+	if name == "" {
+		name = "det"
+	}
+	registry.RLock()
+	fn := registry.m[name]
+	registry.RUnlock()
+	if fn == nil {
+		return nil, fmt.Errorf("steinerforest: unknown algorithm %q (registered: %v)", name, Algorithms())
+	}
+	res, err := fn(ins, spec)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = name
+	if !spec.NoCertificate && !res.Certified {
+		oracle, err := moat.SolveAKR(ins)
+		if err != nil {
+			return nil, err
+		}
+		res.LowerBound = oracle.DualSum.Float()
+		res.Certified = true
+	}
+	return res, nil
+}
+
+func mustRegister(name string, fn SolverFunc) {
+	if err := Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegister("det", func(ins *Instance, spec Spec) (*Result, error) {
+		r, err := detforest.Solve(ins, spec.options()...)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Solution: r.Solution, Weight: r.Solution.Weight(ins.G),
+			Stats: r.Stats, Phases: r.Phases, Merges: r.Merges}, nil
+	})
+	mustRegister("rounded", func(ins *Instance, spec Spec) (*Result, error) {
+		num, den := spec.EpsNum, spec.EpsDen
+		if num == 0 && den == 0 {
+			num, den = 1, 2
+		}
+		r, err := detforest.SolveRounded(ins, num, den, spec.options()...)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Solution: r.Solution, Weight: r.Solution.Weight(ins.G),
+			Stats: r.Stats, Phases: r.Phases, Merges: r.Merges}, nil
+	})
+	randomized := func(mode randforest.Mode) SolverFunc {
+		return func(ins *Instance, spec Spec) (*Result, error) {
+			m := mode
+			if m == randforest.ModeFull && spec.Truncate {
+				m = randforest.ModeTruncated
+			}
+			r, err := randforest.Solve(ins, m, spec.options()...)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Solution: r.Solution, Weight: r.Solution.Weight(ins.G),
+				Stats: r.Stats, Levels: r.Levels}, nil
+		}
+	}
+	mustRegister("rand", randomized(randforest.ModeFull))
+	mustRegister("trunc", randomized(randforest.ModeTruncated))
+	mustRegister("khan", randomized(randforest.ModeKhanBaseline))
+	mustRegister("central", func(ins *Instance, spec Spec) (*Result, error) {
+		r, err := moat.SolveAKR(ins)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Solution: r.Pruned, Weight: r.Weight,
+			LowerBound: r.DualSum.Float(), Certified: true,
+			Phases: r.Phases, Merges: len(r.Merges)}, nil
+	})
+}

@@ -1,0 +1,114 @@
+package steinerforest_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/graph"
+)
+
+func specInstance(seed int64, n, k int) *steinerforest.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.GNP(n, 0.2, graph.RandomWeights(rng, 50), rng)
+	ins := steinerforest.NewInstance(g)
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		ins.SetComponent(c, perm[2*c], perm[2*c+1])
+	}
+	return ins
+}
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	have := map[string]bool{}
+	for _, name := range steinerforest.Algorithms() {
+		have[name] = true
+	}
+	for _, want := range []string{"det", "rounded", "rand", "trunc", "khan", "central"} {
+		if !have[want] {
+			t.Errorf("registry missing built-in %q (have %v)", want, steinerforest.Algorithms())
+		}
+	}
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	ins := specInstance(1, 12, 1)
+	if _, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "no-such-solver"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRegisterCustomSolver(t *testing.T) {
+	called := false
+	err := steinerforest.Register("custom-test", func(ins *steinerforest.Instance, spec steinerforest.Spec) (*steinerforest.Result, error) {
+		called = true
+		return steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "central", NoCertificate: spec.NoCertificate})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := steinerforest.Register("custom-test", nil); err == nil {
+		t.Error("nil duplicate registration accepted")
+	}
+	res, err := steinerforest.Solve(specInstance(2, 14, 2), steinerforest.Spec{Algorithm: "custom-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called || res.Algorithm != "custom-test" {
+		t.Errorf("custom solver not routed: called=%v algorithm=%q", called, res.Algorithm)
+	}
+}
+
+// TestSolverDeterminismGolden: for every distributed solver, the same seed
+// must produce identical Stats across repeated runs and across
+// parallelism levels 1 and 8 — the engine invariant the ISSUE pins.
+func TestSolverDeterminismGolden(t *testing.T) {
+	ins := specInstance(7, 24, 3)
+	for _, algo := range []string{"det", "rounded", "rand", "trunc", "khan"} {
+		base := steinerforest.Spec{Algorithm: algo, Seed: 13, NoCertificate: true}
+		first, err := steinerforest.Solve(ins, base)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		repeat, err := steinerforest.Solve(ins, base)
+		if err != nil {
+			t.Fatalf("%s repeat: %v", algo, err)
+		}
+		sharded := base
+		sharded.Parallelism = 8
+		wide, err := steinerforest.Solve(ins, sharded)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", algo, err)
+		}
+		for name, other := range map[string]*steinerforest.Result{"repeat": repeat, "parallelism 8": wide} {
+			if !reflect.DeepEqual(first.Stats, other.Stats) {
+				t.Errorf("%s: %s diverged: %+v vs %+v", algo, name, first.Stats, other.Stats)
+			}
+			if first.Weight != other.Weight {
+				t.Errorf("%s: %s weight %d vs %d", algo, name, first.Weight, other.Weight)
+			}
+		}
+	}
+}
+
+func TestNoCertificateSkipsOracle(t *testing.T) {
+	ins := specInstance(9, 16, 2)
+	res, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det", NoCertificate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerBound != 0 {
+		t.Errorf("LowerBound = %v, want 0 with NoCertificate", res.LowerBound)
+	}
+	certified, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certified.LowerBound <= 0 {
+		t.Error("certificate missing on default run")
+	}
+	if float64(certified.Weight) > 2*certified.LowerBound+1e-9 {
+		t.Errorf("guarantee violated: %d vs %.2f", certified.Weight, certified.LowerBound)
+	}
+}

@@ -12,20 +12,20 @@
 //	}
 //	ins := steinerforest.NewInstance(g)
 //	ins.SetComponent(0, 0, 5) // connect nodes 0 and 5
-//	res, err := steinerforest.SolveDeterministic(ins)
+//	res, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det"})
 //
-// The result carries the selected forest, its weight, round/message counts
-// of the simulated CONGEST execution, and a certified lower bound on OPT
-// from the moat-growing dual (Lemma C.4), so every answer ships with its
-// own approximation certificate.
+// Every solver is a named entry in a registry (see Spec and Register) and
+// is driven by one Spec value; the SolveDeterministic / SolveRandomized /
+// ... functions are convenience wrappers over the same pipeline. The
+// result carries the selected forest, its weight, round/message counts of
+// the simulated CONGEST execution, and a certified lower bound on OPT from
+// the moat-growing dual (Lemma C.4), so every answer ships with its own
+// approximation certificate.
 package steinerforest
 
 import (
 	"steinerforest/internal/congest"
-	"steinerforest/internal/detforest"
 	"steinerforest/internal/graph"
-	"steinerforest/internal/moat"
-	"steinerforest/internal/randforest"
 	"steinerforest/internal/steiner"
 )
 
@@ -61,44 +61,35 @@ type Result struct {
 	Weight   int64
 	// LowerBound is a certified lower bound on the optimal weight (the
 	// moat-growing dual of Lemma C.4), so Weight/LowerBound bounds the
-	// achieved approximation ratio.
+	// achieved approximation ratio. Meaningful only when Certified is set;
+	// it stays zero when Spec.NoCertificate skipped the oracle.
 	LowerBound float64
+	// Certified reports that LowerBound was actually computed (the dual
+	// itself may legitimately be zero, e.g. on terminal-free instances).
+	Certified bool
 	// Stats describes the distributed execution (nil for the centralized
 	// solver).
 	Stats *Stats
-}
-
-func finish(ins *Instance, sol *Solution, stats *Stats) (*Result, error) {
-	oracle, err := moat.SolveAKR(ins)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Solution:   sol,
-		Weight:     sol.Weight(ins.G),
-		LowerBound: oracle.DualSum.Float(),
-		Stats:      stats,
-	}, nil
+	// Algorithm is the registry name of the solver that produced this
+	// result.
+	Algorithm string
+	// Phases counts the merge phases of the moat-growing solvers
+	// (bounded by 2k, Lemma 4.4); Merges the accepted candidate merges.
+	Phases, Merges int
+	// Levels counts the virtual-tree levels L+1 of the randomized solvers.
+	Levels int
 }
 
 // SolveDeterministic runs the paper's Section 4.1 deterministic distributed
 // algorithm (Theorem 4.17): a 2-approximation in O(ks+t) CONGEST rounds.
 func SolveDeterministic(ins *Instance, opts ...Option) (*Result, error) {
-	res, err := detforest.Solve(ins, gather(opts)...)
-	if err != nil {
-		return nil, err
-	}
-	return finish(ins, res.Solution, res.Stats)
+	return Solve(ins, build(Spec{Algorithm: "det"}, opts))
 }
 
 // SolveDeterministicRounded runs the Section 4.2 rounded-radii variant with
 // ε = epsNum/epsDen: a (2+ε)-approximation organized in growth phases.
 func SolveDeterministicRounded(ins *Instance, epsNum, epsDen int64, opts ...Option) (*Result, error) {
-	res, err := detforest.SolveRounded(ins, epsNum, epsDen, gather(opts)...)
-	if err != nil {
-		return nil, err
-	}
-	return finish(ins, res.Solution, res.Stats)
+	return Solve(ins, build(Spec{Algorithm: "rounded", EpsNum: epsNum, EpsDen: epsDen}, opts))
 }
 
 // SolveRandomized runs the Section 5 randomized algorithm: an O(log n)
@@ -106,61 +97,46 @@ func SolveDeterministicRounded(ins *Instance, epsNum, epsDen int64, opts ...Opti
 // the virtual tree is cut at the √n highest-rank nodes and the F-reduced
 // second stage runs (the paper's s > √n regime).
 func SolveRandomized(ins *Instance, truncate bool, opts ...Option) (*Result, error) {
-	mode := randforest.ModeFull
-	if truncate {
-		mode = randforest.ModeTruncated
-	}
-	res, err := randforest.Solve(ins, mode, gather(opts)...)
-	if err != nil {
-		return nil, err
-	}
-	return finish(ins, res.Solution, res.Stats)
+	return Solve(ins, build(Spec{Algorithm: "rand", Truncate: truncate}, opts))
 }
 
 // SolveCentralized runs the centralized moat-growing 2-approximation
 // (Algorithm 1 / Agrawal-Klein-Ravi), the oracle the distributed algorithm
 // emulates. No simulation statistics are produced.
 func SolveCentralized(ins *Instance) (*Result, error) {
-	res, err := moat.SolveAKR(ins)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Solution:   res.Pruned,
-		Weight:     res.Weight,
-		LowerBound: res.DualSum.Float(),
-	}, nil
+	return Solve(ins, Spec{Algorithm: "central"})
 }
 
 // Verify checks that sol connects every input component of ins.
 func Verify(ins *Instance, sol *Solution) error { return steiner.Verify(ins, sol) }
 
-// Option configures the simulated CONGEST execution.
-type Option func(*runConfig)
+// Option adjusts a Spec; the SolveXxx wrappers accept Options so call
+// sites can stay terse while everything funnels through the one pipeline.
+type Option func(*Spec)
 
-type runConfig struct {
-	opts []congest.Option
-}
-
-func gather(opts []Option) []congest.Option {
-	var rc runConfig
+func build(spec Spec, opts []Option) Spec {
 	for _, o := range opts {
-		o(&rc)
+		o(&spec)
 	}
-	return rc.opts
+	return spec
 }
 
 // WithSeed fixes the randomness of the simulation (node ranks, β, ...).
 func WithSeed(seed int64) Option {
-	return func(rc *runConfig) { rc.opts = append(rc.opts, congest.WithSeed(seed)) }
+	return func(s *Spec) { s.Seed = seed }
 }
 
 // WithBandwidth overrides the per-edge per-round bit budget.
 func WithBandwidth(bits int) Option {
-	return func(rc *runConfig) { rc.opts = append(rc.opts, congest.WithBandwidth(bits)) }
+	return func(s *Spec) { s.Bandwidth = bits }
 }
 
 // WithEdgeTracking records per-edge traffic in Stats.EdgeBits.
 func WithEdgeTracking() Option {
-	return func(rc *runConfig) { rc.opts = append(rc.opts, congest.WithEdgeTracking()) }
+	return func(s *Spec) { s.EdgeTracking = true }
+}
+
+// WithParallelism shards the simulator's routing across p workers.
+func WithParallelism(p int) Option {
+	return func(s *Spec) { s.Parallelism = p }
 }
