@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test bench smoke
+.PHONY: ci build vet test race fuzz-smoke bench baseline smoke
 
-ci: build vet test smoke
+ci: build vet test race fuzz-smoke smoke
 
 build:
 	$(GO) build ./...
@@ -16,15 +16,32 @@ vet:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke: the instance parser must survive fresh fuzz input on
+# every CI run, not just the checked-in corpus.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzReadInstance -fuzztime 10s ./internal/workload
+
 # Benchmark suite: experiment tables at reduced scale plus the engine
 # allocation profile (BenchmarkEngineFlood reports allocs/op).
 bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./...
 
-# Quick end-to-end smoke: the evaluation tables at reduced scale and one
-# full dsfrun through the Spec pipeline.
+# Refresh the committed perf snapshot (full-scale tables, machine
+# readable). Diff against git to see the perf trajectory.
+baseline:
+	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
+
+# Quick end-to-end smoke: the evaluation tables at reduced scale, one
+# full dsfrun through the Spec pipeline, and an instance-file round trip.
 smoke:
 	$(GO) run ./cmd/dsfbench -quick -table t1 >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table e1 -json >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table b1 -json >/dev/null
 	$(GO) run ./cmd/dsfrun -n 30 -k 2 -algo det >/dev/null
+	$(GO) run ./cmd/dsfrun -gen planted -n 30 -k 2 -out /tmp/dsf-smoke.sfi >/dev/null
+	$(GO) run ./cmd/dsfrun -in /tmp/dsf-smoke.sfi -algo rand >/dev/null
+	$(GO) run ./cmd/dsfrun -in examples/instances/ring12.sfi -algo central >/dev/null
 	@echo smoke OK

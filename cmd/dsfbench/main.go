@@ -1,10 +1,11 @@
 // Command dsfbench regenerates the paper's evaluation: one table per claim
 // (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
-// results), plus the E1 engine-scaling experiment.
+// results), plus the E1 engine-scaling and B1 batch-throughput
+// experiments.
 //
 // Usage:
 //
-//	dsfbench [-table all|t1|t1b|t2|t3|t4|t5|t6|f1|a1|e1] [-quick] [-json]
+//	dsfbench [-table all|t1|t1b|t2|t3|t4|t5|t6|f1|a1|e1|b1] [-quick] [-json]
 //
 // With -json the results are emitted as a machine-readable array of table
 // objects ({id, title, claim, header, rows, notes, elapsed_ms}), so the

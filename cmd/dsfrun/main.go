@@ -1,15 +1,20 @@
-// Command dsfrun generates one random Steiner Forest instance and solves it
-// with a chosen algorithm from the solver registry, printing the selected
-// forest, its certified approximation ratio, and the CONGEST execution
-// statistics.
+// Command dsfrun solves one Steiner Forest instance with a chosen
+// algorithm from the solver registry, printing the selected forest, its
+// certified approximation ratio, and the CONGEST execution statistics.
+// The instance comes from a workload-registry family (-gen), from an
+// instance file (-in), or from the legacy inline GNP generator.
 //
 // Usage:
 //
 //	dsfrun [-n 40] [-k 3] [-maxw 64] [-seed 1] [-algo det] [-eps 1/2]
-//	       [-parallel 1] [-nocert]
+//	       [-parallel 1] [-nocert] [-gen family] [-in file] [-out file]
 //
 // -algo accepts any registered solver (det, rounded, rand, trunc, khan,
-// central).
+// central); -gen any registered workload family (geometric, ba,
+// roadmesh, planted, gnp, grid2d). -in reads a text or JSON instance
+// file (format sniffed from the content); -out writes the instance that
+// was solved (format chosen by extension: .json is JSON, anything else
+// the DIMACS-gr-style text form), so instances round-trip through files.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	steinerforest "steinerforest"
 	"steinerforest/internal/graph"
+	"steinerforest/internal/workload"
 )
 
 func main() {
@@ -33,6 +39,10 @@ func main() {
 	eps := flag.String("eps", "1/2", "epsilon for -algo rounded, as num/den")
 	parallel := flag.Int("parallel", 1, "simulator routing workers")
 	nocert := flag.Bool("nocert", false, "skip the dual-oracle certificate (faster on large instances)")
+	gen := flag.String("gen", "",
+		"generate from this workload family: one of "+strings.Join(workload.Names(), ", "))
+	in := flag.String("in", "", "read the instance from this file instead of generating")
+	out := flag.String("out", "", "write the solved instance to this file")
 	flag.Parse()
 
 	spec := steinerforest.Spec{
@@ -46,13 +56,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	g := graph.GNP(*n, 3.0/float64(*n), graph.RandomWeights(rng, *maxw), rng)
-	ins := steinerforest.NewInstance(g)
-	perm := rng.Perm(*n)
-	for c := 0; c < *k && 2*c+1 < *n; c++ {
-		ins.SetComponent(c, perm[2*c], perm[2*c+1])
-		fmt.Printf("component %d: nodes %d and %d\n", c, perm[2*c], perm[2*c+1])
+	var ins *steinerforest.Instance
+	switch {
+	case *in != "" && *gen != "":
+		fmt.Fprintln(os.Stderr, "dsfrun: -in and -gen are mutually exclusive")
+		os.Exit(2)
+	case *in != "":
+		loaded, err := workload.ReadInstanceFile(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfrun:", err)
+			os.Exit(1)
+		}
+		ins = loaded
+		fmt.Printf("loaded %s: n=%d m=%d k=%d t=%d\n",
+			*in, ins.G.N(), ins.G.M(), ins.NumComponents(), ins.NumTerminals())
+	case *gen != "":
+		generated, err := workload.Generate(*gen, workload.Params{
+			N: *n, K: *k, MaxW: *maxw, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfrun:", err)
+			os.Exit(1)
+		}
+		ins = generated.Instance
+		fmt.Printf("generated %s: n=%d m=%d k=%d t=%d\n",
+			*gen, ins.G.N(), ins.G.M(), ins.NumComponents(), ins.NumTerminals())
+		if generated.Planted != nil {
+			fmt.Printf("planted solution: %d edges, weight %d (upper bound on OPT)\n",
+				generated.Planted.Size(), generated.PlantedWeight)
+		}
+	default:
+		rng := rand.New(rand.NewSource(*seed))
+		g := graph.GNP(*n, 3.0/float64(*n), graph.RandomWeights(rng, *maxw), rng)
+		ins = steinerforest.NewInstance(g)
+		perm := rng.Perm(*n)
+		for c := 0; c < *k && 2*c+1 < *n; c++ {
+			ins.SetComponent(c, perm[2*c], perm[2*c+1])
+			fmt.Printf("component %d: nodes %d and %d\n", c, perm[2*c], perm[2*c+1])
+		}
+	}
+	if *out != "" {
+		if err := workload.WriteInstanceFile(*out, ins); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote instance to %s\n", *out)
 	}
 
 	res, err := steinerforest.Solve(ins, spec)
@@ -61,6 +109,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	g := ins.G
 	fmt.Printf("\ngraph: n=%d m=%d s=%d D=%d\n", g.N(), g.M(), g.ShortestPathDiameter(), g.Diameter())
 	fmt.Printf("algorithm %s selected %d edges, weight %d\n", res.Algorithm, res.Solution.Size(), res.Weight)
 	if res.LowerBound > 0 {

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/steiner"
+	"steinerforest/internal/workload"
+)
+
+// B1 measures batch-solving throughput: SolveBatch over a mixed bag of
+// workload-registry instances, sweeping the worker count. The contract
+// under test is the ROADMAP's "many scenarios" story — instances/sec
+// must scale with workers while results stay bit-identical to the
+// sequential loop.
+func B1(sc Scale) *Table {
+	tab := &Table{
+		ID:     "B1",
+		Title:  "batch throughput: instances/sec vs workers (SolveBatch)",
+		Claim:  "engineering: worker pools scale instance throughput; results bit-identical at every worker count",
+		Header: []string{"workers", "instances", "ms", "inst/sec", "speedup", "identical"},
+	}
+	count := 32 / int(sc)
+	if count < 8 {
+		count = 8
+	}
+	n := 48 / int(sc)
+	if n < 16 {
+		n = 16
+	}
+	names := workload.Names()
+	instances := make([]*steiner.Instance, 0, count)
+	for i := 0; i < count; i++ {
+		out, err := workload.Generate(names[i%len(names)], workload.Params{
+			N: n, K: 3, MaxW: 64, Seed: int64(1000 + i),
+		})
+		if err != nil {
+			tab.Notes = append(tab.Notes, err.Error())
+			return tab
+		}
+		instances = append(instances, out.Instance)
+	}
+	spec := steinerforest.Spec{Algorithm: "det", Seed: 17}
+	maxWorkers := runtime.NumCPU()
+	if maxWorkers < 4 {
+		maxWorkers = 4
+	}
+	sweep := []int{1, 2, 4}
+	if maxWorkers > 4 {
+		sweep = append(sweep, maxWorkers)
+	}
+	var baseline []*steinerforest.Result
+	var baselineMS float64
+	for _, workers := range sweep {
+		start := time.Now()
+		results, err := steinerforest.SolveBatch(instances, spec, workers)
+		ms := float64(time.Since(start).Microseconds()) / 1000.0
+		if err != nil {
+			tab.Notes = append(tab.Notes, err.Error())
+			continue
+		}
+		identical := true
+		if workers == 1 {
+			baseline, baselineMS = results, ms
+		} else {
+			identical = reflect.DeepEqual(results, baseline)
+		}
+		speedup := "-"
+		if workers > 1 && ms > 0 {
+			speedup = f(baselineMS / ms)
+		}
+		rate := "-"
+		if ms > 0 {
+			rate = f(float64(count) / ms * 1000.0)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			d(workers), d(count), f(ms), rate, speedup, fmt.Sprintf("%v", identical),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("det solver with certificate over %d mixed workload-registry instances (%v)", count, names),
+		"'identical' asserts reflect.DeepEqual against the workers=1 results")
+	return tab
+}

@@ -7,8 +7,8 @@ import (
 
 func TestAllTablesRenderAtQuickScale(t *testing.T) {
 	tables := All(Scale(4))
-	if len(tables) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(tables))
+	if len(tables) != len(Index) {
+		t.Fatalf("expected %d experiments, got %d", len(Index), len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tab := range tables {
@@ -29,9 +29,21 @@ func TestAllTablesRenderAtQuickScale(t *testing.T) {
 		}
 	}
 	out := RenderAll(tables)
-	for _, id := range []string{"T1", "T1b", "T2", "T3", "T4", "T5", "T6", "F1", "A1", "E1"} {
+	for _, id := range []string{"T1", "T1b", "T2", "T3", "T4", "T5", "T6", "F1", "A1", "E1", "B1"} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("rendered report missing %s", id)
+		}
+	}
+}
+
+func TestB1ResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	tab := B1(Scale(4))
+	if len(tab.Rows) < 2 {
+		t.Fatalf("B1 produced %d rows (notes: %v)", len(tab.Rows), tab.Notes)
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("batch results diverged across worker counts: %v", row)
 		}
 	}
 }

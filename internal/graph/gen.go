@@ -32,12 +32,15 @@ func Path(n int, w WeightFn) *Graph {
 	return g
 }
 
-// Cycle returns the cycle graph on n >= 3 nodes.
+// Cycle returns the cycle graph on n >= 3 nodes. It panics for smaller n:
+// no simple cycle exists there, and silently returning a path would skew
+// any experiment sweeping the family.
 func Cycle(n int, w WeightFn) *Graph {
-	g := Path(n, w)
-	if n >= 3 {
-		g.AddEdge(n-1, 0, w(n-1, 0))
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Cycle needs n >= 3, got %d", n))
 	}
+	g := Path(n, w)
+	g.AddEdge(n-1, 0, w(n-1, 0))
 	return g
 }
 
@@ -117,6 +120,9 @@ func GNP(n int, p float64, w WeightFn, rng *rand.Rand) *Graph {
 // from small to large at roughly constant n, which experiment T6 uses to
 // probe the s vs sqrt(n) crossover of the randomized algorithm.
 func Lollipop(cliqueN, pathN int, w WeightFn) *Graph {
+	if cliqueN < 1 || pathN < 0 {
+		panic(fmt.Sprintf("graph: Lollipop needs cliqueN >= 1 and pathN >= 0, got %d/%d", cliqueN, pathN))
+	}
 	g := New(cliqueN + pathN)
 	for u := 0; u < cliqueN; u++ {
 		for v := u + 1; v < cliqueN; v++ {
@@ -135,6 +141,9 @@ func Lollipop(cliqueN, pathN int, w WeightFn) *Graph {
 // Caterpillar returns a spine path of spine nodes with legs leaves attached
 // to each spine node: a tree with both large s and many low-degree leaves.
 func Caterpillar(spine, legs int, w WeightFn) *Graph {
+	if spine < 1 || legs < 0 {
+		panic(fmt.Sprintf("graph: Caterpillar needs spine >= 1 and legs >= 0, got %d/%d", spine, legs))
+	}
 	g := New(spine * (legs + 1))
 	for i := 0; i+1 < spine; i++ {
 		g.AddEdge(i, i+1, w(i, i+1))

@@ -1,0 +1,54 @@
+package graph
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestCycleValidation: Cycle used to degrade silently to a path for
+// n < 3; it must reject those sizes instead.
+func TestCycleValidation(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 2} {
+		n := n
+		mustPanic(t, "Cycle", func() { Cycle(n, UnitWeights) })
+	}
+	g := Cycle(3, UnitWeights)
+	if g.N() != 3 || g.M() != 3 {
+		t.Errorf("Cycle(3) = %v, want 3 nodes / 3 edges", g)
+	}
+}
+
+func TestLollipopValidation(t *testing.T) {
+	mustPanic(t, "Lollipop cliqueN=0", func() { Lollipop(0, 4, UnitWeights) })
+	mustPanic(t, "Lollipop cliqueN<0", func() { Lollipop(-2, 4, UnitWeights) })
+	mustPanic(t, "Lollipop pathN<0", func() { Lollipop(3, -1, UnitWeights) })
+	// Degenerate but valid corners.
+	if g := Lollipop(1, 0, UnitWeights); g.N() != 1 || g.M() != 0 {
+		t.Errorf("Lollipop(1,0) = %v", g)
+	}
+	if g := Lollipop(1, 3, UnitWeights); g.N() != 4 || g.M() != 3 || !g.Connected() {
+		t.Errorf("Lollipop(1,3) = %v", g)
+	}
+	if g := Lollipop(4, 6, UnitWeights); g.N() != 10 || g.M() != 12 || !g.Connected() {
+		t.Errorf("Lollipop(4,6) = %v", g)
+	}
+}
+
+func TestCaterpillarValidation(t *testing.T) {
+	mustPanic(t, "Caterpillar spine=0", func() { Caterpillar(0, 2, UnitWeights) })
+	mustPanic(t, "Caterpillar spine<0", func() { Caterpillar(-3, 2, UnitWeights) })
+	mustPanic(t, "Caterpillar legs<0", func() { Caterpillar(3, -2, UnitWeights) })
+	if g := Caterpillar(1, 0, UnitWeights); g.N() != 1 || g.M() != 0 {
+		t.Errorf("Caterpillar(1,0) = %v", g)
+	}
+	if g := Caterpillar(5, 3, UnitWeights); g.N() != 20 || g.M() != 19 || !g.Connected() {
+		t.Errorf("Caterpillar(5,3) = %v", g)
+	}
+}

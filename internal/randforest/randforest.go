@@ -205,6 +205,19 @@ func (ns *nodeState) collectLabels() {
 	sort.Ints(ns.labels)
 }
 
+// sortedLabels returns the label set in ascending order. Every iteration
+// over a label set that feeds messages into the network must use it: map
+// order would shuffle per-port queues and upcast pipelines between runs,
+// making round and message counts nondeterministic under a fixed seed.
+func sortedLabels(m map[int]bool) []int {
+	labels := make([]int, 0, len(m))
+	for lbl := range m {
+		labels = append(labels, lbl)
+	}
+	sort.Ints(labels)
+	return labels
+}
+
 // stageOne runs the level phases of the first stage with the given initial
 // label set and marks all traversed edges into F.
 func (ns *nodeState) stageOne(l map[int]bool) {
@@ -212,7 +225,7 @@ func (ns *nodeState) stageOne(l map[int]bool) {
 	for i := 0; i <= ns.emb.L; i++ {
 		// Step 3a: drop labels held by a single node.
 		var local []dist.Item
-		for lbl := range l {
+		for _, lbl := range sortedLabels(l) {
 			local = append(local, labelItem{lbl: lbl, node: h.ID()})
 		}
 		newFilter := func() dist.Filter {
@@ -253,7 +266,7 @@ func (ns *nodeState) stageOne(l map[int]bool) {
 		queues := map[int][]congest.Message{}
 		push := func(port int, m congest.Message) { queues[port] = append(queues[port], m) }
 
-		for lbl := range l {
+		for _, lbl := range sortedLabels(l) {
 			key := chainKey{lbl: lbl, dst: anc.Node}
 			originated[key] = true
 			if anc.Node == h.ID() {
@@ -317,7 +330,7 @@ func (ns *nodeState) stageOne(l map[int]bool) {
 				}
 			} else {
 				back := firstFrom[pick]
-				for lbl := range gathered {
+				for _, lbl := range sortedLabels(gathered) {
 					push(back, delegMsg{key: pick.lbl, dst: pick.dst, lbl: lbl})
 				}
 			}

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"steinerforest/internal/graph"
+	"steinerforest/internal/steiner"
+)
+
+func init() {
+	mustRegister(Family{
+		Name: "geometric",
+		Description: "random geometric graph: points in the unit square, edges " +
+			"within the connectivity radius, weight ~ Euclidean length",
+		Gen: genGeometric,
+	})
+	mustRegister(Family{
+		Name: "ba",
+		Description: "Barabási–Albert preferential attachment: heavy-tailed " +
+			"degrees, small diameter (the low-D regime of the bounds)",
+		Gen: genBarabasiAlbert,
+	})
+	mustRegister(Family{
+		Name: "roadmesh",
+		Description: "layered road-network mesh: an expensive local street grid " +
+			"overlaid with a cheap sparse highway lattice",
+		Gen: genRoadMesh,
+	})
+	mustRegister(Family{
+		Name: "planted",
+		Description: "planted Steiner forest: k cheap component trees buried in " +
+			"heavy noise edges; the construction records the planted solution",
+		Gen: genPlanted,
+	})
+	mustRegister(Family{
+		Name:        "gnp",
+		Description: "connected Erdős–Rényi G(n, 3/n) with k terminal pairs",
+		Gen:         genGNP,
+	})
+	mustRegister(Family{
+		Name:        "grid2d",
+		Description: "2D grid mesh (≈√n × √n) with k terminal pairs",
+		Gen:         genGrid,
+	})
+}
+
+// genGeometric scatters N points uniformly in the unit square, links each
+// point to its nearest predecessor (connectivity backbone), then adds every
+// pair within the standard connectivity radius ~ sqrt(ln n / n). Weights
+// scale the Euclidean length into [1, MaxW].
+func genGeometric(p Params) (*Generated, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+	}
+	// Map a length in [0, sqrt 2] onto [1, MaxW].
+	weight := func(d float64) int64 {
+		w := 1 + int64(d/math.Sqrt2*float64(p.MaxW-1))
+		if w < 1 {
+			w = 1
+		}
+		if w > p.MaxW {
+			w = p.MaxW
+		}
+		return w
+	}
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		best, bestD := 0, dist(i, 0)
+		for j := 1; j < i; j++ {
+			if d := dist(i, j); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		g.AddEdge(best, i, weight(bestD))
+	}
+	radius := 1.5 * math.Sqrt(math.Log(float64(n)+1)/float64(n))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if _, ok := g.EdgeBetween(u, v); ok {
+				continue
+			}
+			if d := dist(u, v); d <= radius {
+				g.AddEdge(u, v, weight(d))
+			}
+		}
+	}
+	ins := steiner.NewInstance(g)
+	pairComponents(ins, p.K, rng)
+	return &Generated{Instance: ins}, nil
+}
+
+// genBarabasiAlbert grows a preferential-attachment graph: a small seed
+// clique, then each new node attaches to min(2, existing) distinct nodes
+// sampled proportionally to degree (uniform draws from the half-edge list).
+func genBarabasiAlbert(p Params) (*Generated, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	m := 2
+	if m >= n {
+		m = n - 1
+	}
+	g := graph.New(n)
+	w := graph.RandomWeights(rng, p.MaxW)
+	// Seed clique on m+1 nodes; endpoints doubles as the degree-weighted
+	// sampling pool (each node appears once per incident edge).
+	var endpoints []int
+	m0 := m + 1
+	for u := 0; u < m0; u++ {
+		for v := u + 1; v < m0; v++ {
+			g.AddEdge(u, v, w(u, v))
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for v := m0; v < n; v++ {
+		// Buffer this step's half-edges: sampling must only see nodes
+		// older than v, or v could draw itself.
+		var added []int
+		for len(added) < 2*m {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if _, ok := g.EdgeBetween(u, v); ok {
+				continue
+			}
+			g.AddEdge(u, v, w(u, v))
+			added = append(added, u, v)
+		}
+		endpoints = append(endpoints, added...)
+	}
+	ins := steiner.NewInstance(g)
+	pairComponents(ins, p.K, rng)
+	return &Generated{Instance: ins}, nil
+}
+
+// genRoadMesh lays out a ≈√N × √N street grid whose local edges are
+// expensive (weights in [MaxW/2, MaxW]) and overlays a highway lattice:
+// every stride-th intersection links to the next highway node along its row
+// and column at a per-hop cost ~8x cheaper than streets. Shortest paths
+// hop onto the highways, so the mesh has small weighted diameter but large
+// shortest-path diameter s — the regime separating the paper's min{s,√n}
+// term from the +D term.
+func genRoadMesh(p Params) (*Generated, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	rows := int(math.Round(math.Sqrt(float64(p.N))))
+	if rows < 2 {
+		rows = 2
+	}
+	cols := (p.N + rows - 1) / rows
+	if cols < 2 {
+		cols = 2
+	}
+	n := rows * cols
+	g := graph.New(n)
+	id := func(r, c int) int { return r*cols + c }
+	street := func() int64 { return p.MaxW/2 + 1 + rng.Int63n(p.MaxW-p.MaxW/2) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), street())
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), street())
+			}
+		}
+	}
+	const stride = 3
+	hw := p.MaxW / 8
+	if hw < 1 {
+		hw = 1
+	}
+	highway := hw * stride
+	if highway > p.MaxW {
+		highway = p.MaxW // tiny MaxW: keep the documented weight cap
+	}
+	for r := 0; r < rows; r += stride {
+		for c := 0; c < cols; c += stride {
+			if c+stride < cols {
+				g.AddEdge(id(r, c), id(r, c+stride), highway)
+			}
+			if r+stride < rows {
+				g.AddEdge(id(r, c), id(r+stride, c), highway)
+			}
+		}
+	}
+	ins := steiner.NewInstance(g)
+	pairComponents(ins, p.K, rng)
+	return &Generated{Instance: ins}, nil
+}
+
+// genPlanted buries K vertex-disjoint cheap random trees (the planted
+// solution, recorded in Generated) in heavy noise: leftover nodes and
+// cross-tree links attach with weights near MaxW, plus ~N/2 random heavy
+// chords. Every tree node is a terminal of its tree's component, so the
+// planted edge set is feasible by construction and its weight upper-bounds
+// OPT.
+func genPlanted(p Params) (*Generated, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n, k := p.N, p.K
+	// treeSize*k <= n always: either n/(3k)*k <= n/3, or the floor of 2
+	// per tree, which fits because validate checked 2K <= N.
+	treeSize := n / (3 * k)
+	if treeSize < 2 {
+		treeSize = 2
+	}
+	cheap := p.MaxW / 16
+	if cheap < 1 {
+		cheap = 1
+	}
+	heavy := func() int64 { return p.MaxW - rng.Int63n(p.MaxW/2+1) }
+
+	perm := rng.Perm(n)
+	g := graph.New(n)
+	ins := steiner.NewInstance(g)
+	var plantedEdges []int
+	var plantedWeight int64
+	connected := make([]int, 0, n) // nodes already in the glued-together graph
+	for c := 0; c < k; c++ {
+		members := perm[c*treeSize : (c+1)*treeSize]
+		for i := 1; i < len(members); i++ {
+			w := 1 + rng.Int63n(cheap)
+			e := g.AddEdge(members[rng.Intn(i)], members[i], w)
+			plantedEdges = append(plantedEdges, e)
+			plantedWeight += w
+		}
+		ins.SetComponent(c, members...)
+		if c > 0 {
+			g.AddEdge(connected[rng.Intn(len(connected))], members[0], heavy())
+		}
+		connected = append(connected, members...)
+	}
+	for _, v := range perm[k*treeSize:] {
+		g.AddEdge(connected[rng.Intn(len(connected))], v, heavy())
+		connected = append(connected, v)
+	}
+	for i := 0; i < n/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, ok := g.EdgeBetween(u, v); ok {
+			continue
+		}
+		g.AddEdge(u, v, heavy())
+	}
+	planted := steiner.SolutionFromEdges(g, plantedEdges)
+	if err := steiner.Verify(ins, planted); err != nil {
+		return nil, fmt.Errorf("planted solution infeasible: %w", err)
+	}
+	return &Generated{Instance: ins, Planted: planted, PlantedWeight: plantedWeight}, nil
+}
+
+// genGNP wraps the classical connected G(n, 3/n) generator.
+func genGNP(p Params) (*Generated, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.GNP(p.N, 3.0/float64(p.N), graph.RandomWeights(rng, p.MaxW), rng)
+	ins := steiner.NewInstance(g)
+	pairComponents(ins, p.K, rng)
+	return &Generated{Instance: ins}, nil
+}
+
+// genGrid wraps the 2D grid generator at ≈√N × √N.
+func genGrid(p Params) (*Generated, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	rows := int(math.Round(math.Sqrt(float64(p.N))))
+	if rows < 2 {
+		rows = 2
+	}
+	cols := (p.N + rows - 1) / rows
+	if cols < 2 {
+		cols = 2
+	}
+	g := graph.Grid(rows, cols, graph.RandomWeights(rng, p.MaxW))
+	ins := steiner.NewInstance(g)
+	pairComponents(ins, p.K, rng)
+	return &Generated{Instance: ins}, nil
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadInstance proves the instance decoders never panic on arbitrary
+// bytes: every input either parses into a valid instance that round-trips
+// through both encoders, or fails with an error.
+func FuzzReadInstance(f *testing.F) {
+	f.Add([]byte("p sf 3 2\ne 1 2 5\ne 2 3 1\nd 1 0\nd 3 0\n"))
+	f.Add([]byte("c comment\np sf 2 1\ne 1 2 7\n"))
+	f.Add([]byte("p sf 0 0\n"))
+	f.Add([]byte(`{"n": 3, "edges": [[0,1,5],[1,2,1]], "demands": [[0,0],[2,0]]}`))
+	f.Add([]byte(`{"n": 0}`))
+	f.Add([]byte("p sf 99999999999999 1\n"))
+	f.Add([]byte("e 1 2 3\np sf 3 1\n"))
+	f.Add([]byte("{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid instance: %v", err)
+		}
+		// Whatever parsed must survive a write→read cycle in both formats.
+		for _, format := range []Format{FormatText, FormatJSON} {
+			var buf bytes.Buffer
+			if err := WriteInstance(&buf, ins, format); err != nil {
+				t.Fatalf("format %d: re-encode: %v", format, err)
+			}
+			back, err := ReadInstance(&buf)
+			if err != nil {
+				t.Fatalf("format %d: re-decode: %v\n%s", format, err, buf.String())
+			}
+			if !instancesEqual(ins, back) {
+				t.Fatalf("format %d: round trip changed the instance", format)
+			}
+		}
+	})
+}
+
+// FuzzInstanceRoundTrip drives the registered families with fuzzed
+// parameters and proves write→read is the identity on every valid
+// instance they produce.
+func FuzzInstanceRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(24), uint8(2), false)
+	f.Add(int64(7), uint8(3), uint8(40), uint8(4), true)
+	f.Add(int64(42), uint8(5), uint8(2), uint8(1), false)
+	f.Fuzz(func(t *testing.T, seed int64, famIdx, n, k uint8, asJSON bool) {
+		names := Names()
+		name := names[int(famIdx)%len(names)]
+		p := Params{
+			N:    2 + int(n)%64,
+			K:    1 + int(k)%4,
+			MaxW: 1 + int64(n)*int64(k)%100,
+			Seed: seed,
+		}
+		if 2*p.K > p.N {
+			p.K = p.N / 2
+		}
+		out, err := Generate(name, p)
+		if err != nil {
+			t.Fatalf("%s %+v: %v", name, p, err)
+		}
+		format := FormatText
+		if asJSON {
+			format = FormatJSON
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, out.Instance, format); err != nil {
+			t.Fatalf("%s %+v: write: %v", name, p, err)
+		}
+		back, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("%s %+v: read back: %v", name, p, err)
+		}
+		if !instancesEqual(out.Instance, back) {
+			t.Fatalf("%s %+v: write→read is not the identity", name, p)
+		}
+	})
+}

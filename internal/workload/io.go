@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"steinerforest/internal/graph"
+	"steinerforest/internal/steiner"
+)
+
+// Format selects an instance file encoding.
+type Format int
+
+const (
+	// FormatText is the DIMACS-gr-style form: "c" comments, one
+	// "p sf <n> <m>" problem line, "e <u> <v> <w>" edge lines (1-based
+	// endpoints, positive weight), and a demand section of
+	// "d <node> <component>" lines (1-based node, component id >= 0).
+	FormatText Format = iota
+	// FormatJSON is {"n": ..., "edges": [[u,v,w], ...], "demands":
+	// [[node,component], ...]} with 0-based node ids.
+	FormatJSON
+)
+
+// Parser resource caps: ReadInstance allocates O(n + m), so arbitrary
+// input must not be able to name an absurd size in a tiny file.
+const (
+	MaxNodes = 1 << 20
+	MaxEdges = 1 << 22
+)
+
+// FormatForPath picks the format by file extension: .json is JSON,
+// anything else the text form.
+func FormatForPath(path string) Format {
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		return FormatJSON
+	}
+	return FormatText
+}
+
+// jsonInstance is the JSON wire form.
+type jsonInstance struct {
+	N       int        `json:"n"`
+	Edges   [][3]int64 `json:"edges"`
+	Demands [][2]int   `json:"demands,omitempty"`
+}
+
+// buildInstance validates a decoded instance description (0-based node
+// ids) and assembles it. All failure modes return errors — the fuzz
+// targets prove the decoders never panic.
+func buildInstance(n int, edges [][3]int64, demands [][2]int) (*steiner.Instance, error) {
+	if n < 0 || n > MaxNodes {
+		return nil, fmt.Errorf("workload: node count %d outside [0, %d]", n, MaxNodes)
+	}
+	if len(edges) > MaxEdges {
+		return nil, fmt.Errorf("workload: %d edges exceed the %d cap", len(edges), MaxEdges)
+	}
+	g := graph.New(n)
+	for i, e := range edges {
+		u, v, w := e[0], e[1], e[2]
+		switch {
+		case u < 0 || u >= int64(n) || v < 0 || v >= int64(n):
+			return nil, fmt.Errorf("workload: edge %d {%d,%d} out of range [0,%d)", i, u, v, n)
+		case u == v:
+			return nil, fmt.Errorf("workload: edge %d is a self-loop at %d", i, u)
+		case w < 1:
+			return nil, fmt.Errorf("workload: edge %d {%d,%d} has non-positive weight %d", i, u, v, w)
+		}
+		if _, dup := g.EdgeBetween(int(u), int(v)); dup {
+			return nil, fmt.Errorf("workload: duplicate edge %d {%d,%d}", i, u, v)
+		}
+		g.AddEdge(int(u), int(v), w)
+	}
+	ins := steiner.NewInstance(g)
+	for i, dm := range demands {
+		v, label := dm[0], dm[1]
+		switch {
+		case v < 0 || v >= n:
+			return nil, fmt.Errorf("workload: demand %d names node %d outside [0,%d)", i, v, n)
+		case label < 0:
+			return nil, fmt.Errorf("workload: demand %d has negative component %d", i, label)
+		case ins.Label[v] != steiner.NoLabel:
+			return nil, fmt.Errorf("workload: demand %d relabels node %d", i, v)
+		}
+		ins.Label[v] = label
+	}
+	return ins, nil
+}
+
+// ReadInstance decodes an instance from r, sniffing the format: input
+// whose first non-space byte is '{' is JSON, everything else the text
+// form. It never panics, whatever the bytes.
+func ReadInstance(r io.Reader) (*steiner.Instance, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read instance: %w", err)
+	}
+	if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+		return readJSON(data)
+	}
+	return readText(data)
+}
+
+func readJSON(data []byte) (*steiner.Instance, error) {
+	var ji jsonInstance
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ji); err != nil {
+		return nil, fmt.Errorf("workload: json instance: %w", err)
+	}
+	return buildInstance(ji.N, ji.Edges, ji.Demands)
+}
+
+func readText(data []byte) (*steiner.Instance, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		n, m    int
+		sawP    bool
+		edges   [][3]int64
+		demands [][2]int
+		lineNum int
+	)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("workload: text instance line %d: %s", lineNum, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNum++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			continue
+		case "p":
+			if sawP {
+				return nil, fail("second problem line")
+			}
+			if len(fields) != 4 || fields[1] != "sf" {
+				return nil, fail("want %q, got %q", "p sf <n> <m>", sc.Text())
+			}
+			var err1, err2 error
+			n, err1 = strconv.Atoi(fields[2])
+			m, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fail("bad sizes %q %q", fields[2], fields[3])
+			}
+			if n > MaxNodes || m > MaxEdges {
+				return nil, fail("sizes %d/%d exceed caps %d/%d", n, m, MaxNodes, MaxEdges)
+			}
+			sawP = true
+		case "e":
+			if !sawP {
+				return nil, fail("edge before problem line")
+			}
+			if len(fields) != 4 {
+				return nil, fail("want %q, got %q", "e <u> <v> <w>", sc.Text())
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 64)
+			v, err2 := strconv.ParseInt(fields[2], 10, 64)
+			w, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("bad edge %q", sc.Text())
+			}
+			if len(edges) >= m {
+				return nil, fail("more than the declared %d edges", m)
+			}
+			edges = append(edges, [3]int64{u - 1, v - 1, w})
+		case "d":
+			if !sawP {
+				return nil, fail("demand before problem line")
+			}
+			if len(fields) != 3 {
+				return nil, fail("want %q, got %q", "d <node> <component>", sc.Text())
+			}
+			v, err1 := strconv.Atoi(fields[1])
+			label, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad demand %q", sc.Text())
+			}
+			demands = append(demands, [2]int{v - 1, label})
+		default:
+			return nil, fail("unknown line type %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: text instance: %w", err)
+	}
+	if !sawP {
+		return nil, fmt.Errorf("workload: text instance: no problem line")
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("workload: text instance: %d edge lines, problem line declared %d", len(edges), m)
+	}
+	return buildInstance(n, edges, demands)
+}
+
+// WriteInstance encodes ins to w in the given format. Write followed by
+// ReadInstance reproduces the instance exactly: same node count, same
+// edge order and weights, same labels.
+func WriteInstance(w io.Writer, ins *steiner.Instance, format Format) error {
+	if err := ins.Validate(); err != nil {
+		return err
+	}
+	switch format {
+	case FormatJSON:
+		ji := jsonInstance{N: ins.G.N(), Edges: make([][3]int64, 0, ins.G.M())}
+		for _, e := range ins.G.Edges() {
+			ji.Edges = append(ji.Edges, [3]int64{int64(e.U), int64(e.V), e.Weight})
+		}
+		for v, l := range ins.Label {
+			if l != steiner.NoLabel {
+				ji.Demands = append(ji.Demands, [2]int{v, l})
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(&ji)
+	case FormatText:
+		bw := bufio.NewWriter(w)
+		fmt.Fprintf(bw, "c steinerforest DSF-IC instance (k=%d, t=%d)\n",
+			ins.NumComponents(), ins.NumTerminals())
+		fmt.Fprintf(bw, "p sf %d %d\n", ins.G.N(), ins.G.M())
+		for _, e := range ins.G.Edges() {
+			fmt.Fprintf(bw, "e %d %d %d\n", e.U+1, e.V+1, e.Weight)
+		}
+		for v, l := range ins.Label {
+			if l != steiner.NoLabel {
+				fmt.Fprintf(bw, "d %d %d\n", v+1, l)
+			}
+		}
+		return bw.Flush()
+	default:
+		return fmt.Errorf("workload: unknown format %d", format)
+	}
+}
+
+// ReadInstanceFile reads an instance from path (format sniffed from the
+// content, so the extension is advisory).
+func ReadInstanceFile(path string) (*steiner.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadInstance(f)
+}
+
+// WriteInstanceFile writes ins to path in the format chosen by
+// FormatForPath.
+func WriteInstanceFile(path string, ins *steiner.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteInstance(f, ins, FormatForPath(path)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

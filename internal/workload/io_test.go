@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"steinerforest/internal/graph"
+	"steinerforest/internal/steiner"
+)
+
+func sampleInstance() *steiner.Instance {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 9)
+	g.AddEdge(3, 4, 2)
+	g.AddEdge(4, 5, 7)
+	g.AddEdge(0, 5, 30)
+	ins := steiner.NewInstance(g)
+	ins.SetComponent(0, 0, 3)
+	ins.SetComponent(1, 2, 5)
+	return ins
+}
+
+func TestRoundTripBothFormats(t *testing.T) {
+	for _, format := range []Format{FormatText, FormatJSON} {
+		var buf bytes.Buffer
+		ins := sampleInstance()
+		if err := WriteInstance(&buf, ins, format); err != nil {
+			t.Fatalf("format %d: write: %v", format, err)
+		}
+		back, err := ReadInstance(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("format %d: read back: %v\n%s", format, err, buf.String())
+		}
+		if !instancesEqual(ins, back) {
+			t.Errorf("format %d: round trip changed the instance:\n%s", format, buf.String())
+		}
+	}
+}
+
+func TestRoundTripThroughFiles(t *testing.T) {
+	dir := t.TempDir()
+	ins := sampleInstance()
+	for _, name := range []string{"ins.sfi", "ins.json"} {
+		path := filepath.Join(dir, name)
+		if err := WriteInstanceFile(path, ins); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ReadInstanceFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !instancesEqual(ins, back) {
+			t.Errorf("%s: file round trip changed the instance", name)
+		}
+	}
+}
+
+func TestReadTextHandComposed(t *testing.T) {
+	in := `
+c hand-written instance
+p sf 3 2
+
+e 1 2 5
+e 2 3 1
+d 1 0
+d 3 0
+`
+	ins, err := ReadInstance(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.G.N() != 3 || ins.G.M() != 2 {
+		t.Fatalf("got %v", ins.G)
+	}
+	if ins.Label[0] != 0 || ins.Label[1] != steiner.NoLabel || ins.Label[2] != 0 {
+		t.Fatalf("labels %v", ins.Label)
+	}
+}
+
+func TestReadInstanceRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":               "",
+		"no problem line":     "e 1 2 3\n",
+		"second problem line": "p sf 2 0\np sf 2 0\n",
+		"bad problem line":    "p sp 2 1\ne 1 2 1\n",
+		"oversized n":         "p sf 99999999999 0\n",
+		"negative m":          "p sf 4 -2\n",
+		"edge count mismatch": "p sf 3 2\ne 1 2 1\n",
+		"extra edges":         "p sf 3 1\ne 1 2 1\ne 2 3 1\n",
+		"self-loop":           "p sf 3 1\ne 2 2 1\n",
+		"duplicate edge":      "p sf 3 2\ne 1 2 1\ne 2 1 5\n",
+		"edge out of range":   "p sf 3 1\ne 1 9 1\n",
+		"zero weight":         "p sf 3 1\ne 1 2 0\n",
+		"overflow weight":     "p sf 3 1\ne 1 2 99999999999999999999\n",
+		"bad demand arity":    "p sf 2 0\nd 1\n",
+		"demand out of range": "p sf 2 0\nd 5 0\n",
+		"negative component":  "p sf 2 0\nd 1 -4\n",
+		"relabel":             "p sf 2 0\nd 1 0\nd 1 1\n",
+		"unknown line":        "p sf 2 0\nq zzz\n",
+		"json bad type":       `{"n": "six"}`,
+		"json oversized n":    `{"n": 99999999}`,
+		"json unknown field":  `{"n": 2, "nodes": 3}`,
+		"json self-loop":      `{"n": 3, "edges": [[1,1,1]]}`,
+		"json bad weight":     `{"n": 3, "edges": [[0,1,-2]]}`,
+		"json bad demand":     `{"n": 3, "demands": [[7,0]]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadInstance(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	if FormatForPath("x/y.json") != FormatJSON || FormatForPath("x/y.JSON") != FormatJSON {
+		t.Error("json extension not detected")
+	}
+	if FormatForPath("x/y.sfi") != FormatText || FormatForPath("plain") != FormatText {
+		t.Error("non-json extension should be text")
+	}
+}
+
+// TestGeneratedFamiliesRoundTrip pushes every registered family through
+// both encodings.
+func TestGeneratedFamiliesRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		out, err := Generate(name, Params{N: 30, K: 3, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, format := range []Format{FormatText, FormatJSON} {
+			var buf bytes.Buffer
+			if err := WriteInstance(&buf, out.Instance, format); err != nil {
+				t.Fatalf("%s format %d: %v", name, format, err)
+			}
+			back, err := ReadInstance(&buf)
+			if err != nil {
+				t.Fatalf("%s format %d: %v", name, format, err)
+			}
+			if !instancesEqual(out.Instance, back) {
+				t.Errorf("%s format %d: round trip changed the instance", name, format)
+			}
+		}
+	}
+}

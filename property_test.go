@@ -1,0 +1,103 @@
+package steinerforest_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/workload"
+)
+
+// TestCrossSolverProperties sweeps every registered workload family
+// against every registered algorithm and checks the contracts every
+// result must satisfy:
+//
+//   - the solution is feasible for the (minimalized) instance,
+//   - the weight is at least the certified dual lower bound,
+//   - det and central stay within 2x the bound (Theorem 4.1/4.17),
+//   - rounded stays within 2(1+eps)x (Theorem 4.2),
+//   - on planted instances the weight stays within the algorithm's
+//     factor of the planted solution (an independent upper bound),
+//   - a repeat run under the same Spec.Seed is bit-identical.
+func TestCrossSolverProperties(t *testing.T) {
+	const (
+		epsNum, epsDen = 1, 2
+		slack          = 1e-9 // float comparison headroom on the dual
+	)
+	algoFactor := func(algo string, n int) (float64, bool) {
+		switch algo {
+		case "det", "central":
+			return 2, true
+		case "rounded":
+			return 2 * (1 + float64(epsNum)/float64(epsDen)), true
+		default:
+			// rand/trunc/khan guarantee O(log n) in expectation only;
+			// no per-run factor to assert.
+			return 0, false
+		}
+	}
+	for _, family := range workload.Names() {
+		out, err := workload.Generate(family, workload.Params{N: 26, K: 3, MaxW: 48, Seed: 13})
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		ins := out.Instance
+		minimal := ins.Minimalize()
+		for _, algo := range steinerforest.Algorithms() {
+			name := family + "/" + algo
+			spec := steinerforest.Spec{
+				Algorithm: algo, EpsNum: epsNum, EpsDen: epsDen, Seed: 29,
+			}
+			res, err := steinerforest.Solve(ins, spec)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				continue
+			}
+			if err := steinerforest.Verify(minimal, res.Solution); err != nil {
+				t.Errorf("%s: infeasible solution: %v", name, err)
+			}
+			if !res.Certified {
+				t.Errorf("%s: no certificate", name)
+				continue
+			}
+			lb := res.LowerBound
+			if float64(res.Weight) < lb-slack {
+				t.Errorf("%s: weight %d below certified lower bound %.4f", name, res.Weight, lb)
+			}
+			if factor, ok := algoFactor(algo, ins.G.N()); ok && lb > 0 {
+				if float64(res.Weight) > factor*lb*(1+slack) {
+					t.Errorf("%s: weight %d exceeds %.2fx lower bound %.4f",
+						name, res.Weight, factor, lb)
+				}
+			}
+			if out.Planted != nil {
+				// The planted solution is feasible, so OPT <= planted
+				// weight: the dual can never exceed it, and the
+				// guaranteed algorithms stay within factor x planted.
+				if lb > float64(out.PlantedWeight)+slack {
+					t.Errorf("%s: lower bound %.4f above planted weight %d",
+						name, lb, out.PlantedWeight)
+				}
+				factor, ok := algoFactor(algo, ins.G.N())
+				if !ok {
+					// Generous empirical cap for the randomized
+					// solvers: 4 log2(n) x planted.
+					factor = 4 * math.Log2(float64(ins.G.N()))
+				}
+				if float64(res.Weight) > factor*float64(out.PlantedWeight) {
+					t.Errorf("%s: weight %d exceeds %.2fx planted weight %d",
+						name, res.Weight, factor, out.PlantedWeight)
+				}
+			}
+			again, err := steinerforest.Solve(ins, spec)
+			if err != nil {
+				t.Errorf("%s: repeat run: %v", name, err)
+				continue
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Errorf("%s: repeat run under fixed seed is not bit-identical", name)
+			}
+		}
+	}
+}
