@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench baseline smoke
+.PHONY: ci build vet test race fuzz-smoke bench baseline bench-smoke bench-compare smoke
 
-ci: build vet test race fuzz-smoke smoke
+ci: build vet test race fuzz-smoke smoke bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,22 @@ bench:
 # readable). Diff against git to see the perf trajectory.
 baseline:
 	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
+
+# Short-mode run of the E2 scheduler experiment: asserts the fast paths
+# stay bit-identical to the exchange-loop scheduler on every solver.
+bench-smoke:
+	$(GO) run ./cmd/dsfbench -quick -table e2 -json >/dev/null
+
+# Gate perf changes against the committed snapshots: the correctness
+# columns (rounds, weights, ratios, feasibility) must match exactly; the
+# recorded per-table elapsed times may not regress beyond the tolerance.
+# Both snapshots were recorded back-to-back on one machine, so the diff is
+# deterministic in CI (no fresh timing involved). Tolerance 25: E1's dense
+# all-active flood pays ~15-20% for the inline-wire message structs (a
+# documented tradeoff, see README "Performance"); every other table is
+# 30-90% faster.
+bench-compare:
+	$(GO) run ./cmd/dsfbench -compare -tolerance 25 BENCH_baseline.json BENCH_pr3.json
 
 # Quick end-to-end smoke: the evaluation tables at reduced scale, one
 # full dsfrun through the Spec pipeline, and an instance-file round trip.

@@ -1,15 +1,21 @@
 // Command dsfbench regenerates the paper's evaluation: one table per claim
 // (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
-// results), plus the E1 engine-scaling and B1 batch-throughput
-// experiments.
+// results), plus the E1 engine-scaling, B1 batch-throughput and E2
+// event-driven-scheduler experiments.
 //
 // Usage:
 //
-//	dsfbench [-table all|t1|t1b|t2|t3|t4|t5|t6|f1|a1|e1|b1] [-quick] [-json]
+//	dsfbench [-table all|t1|...|e2] [-quick] [-json]
+//	         [-cpuprofile f] [-memprofile f]
+//	dsfbench -compare old.json new.json [-tolerance pct]
 //
 // With -json the results are emitted as a machine-readable array of table
 // objects ({id, title, claim, header, rows, notes, elapsed_ms}), so the
-// perf trajectory can be recorded and diffed across revisions.
+// perf trajectory can be recorded and diffed across revisions. -compare
+// diffs two such snapshots: correctness cells (rounds, weights, ratios,
+// feasibility) must match exactly, timing cells are reported as deltas,
+// and the exit status is nonzero on any correctness drift or on a
+// per-table elapsed-time regression beyond -tolerance percent.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,6 +32,13 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred cleanup — notably stopping the
+	// CPU profile, which is only serialized on StopCPUProfile — executes
+	// before the process exits, whatever the exit code.
+	os.Exit(run())
+}
+
+func run() int {
 	keys := make([]string, 0, len(bench.Index))
 	for _, e := range bench.Index {
 		keys = append(keys, e.Key)
@@ -32,7 +47,33 @@ func main() {
 		"experiment to run (all, "+strings.Join(keys, ", ")+")")
 	quick := flag.Bool("quick", false, "shrink instance sizes for a fast smoke run")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	compare := flag.Bool("compare", false, "compare two -json snapshots (old.json new.json) instead of running")
+	tolerance := flag.Float64("tolerance", 10, "with -compare: max per-table elapsed_ms regression, in percent")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dsfbench: -compare needs exactly two snapshot files (old.json new.json)")
+			return 2
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *tolerance)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sc := bench.Scale(1)
 	if *quick {
@@ -53,16 +94,74 @@ func main() {
 	}
 	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "dsfbench: unknown table %q (have: %s)\n", *table, strings.Join(keys, ", "))
-		os.Exit(2)
+		return 2
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench:", err)
+			return 1
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench:", err)
+			return 1
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(tables); err != nil {
 			fmt.Fprintln(os.Stderr, "dsfbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+	} else {
+		fmt.Print(bench.RenderAll(tables))
 	}
-	fmt.Print(bench.RenderAll(tables))
+	for _, tab := range tables {
+		if tab.Failed {
+			fmt.Fprintf(os.Stderr, "dsfbench: table %s failed its built-in assertion (see the 'identical' column)\n", tab.ID)
+			return 1
+		}
+	}
+	return 0
+}
+
+func runCompare(oldPath, newPath string, tolerance float64) int {
+	load := func(path string) ([]*bench.Table, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench:", err)
+			return nil, false
+		}
+		var tabs []*bench.Table
+		if err := json.Unmarshal(data, &tabs); err != nil {
+			fmt.Fprintf(os.Stderr, "dsfbench: %s: %v\n", path, err)
+			return nil, false
+		}
+		return tabs, true
+	}
+	old, ok := load(oldPath)
+	if !ok {
+		return 2
+	}
+	cur, ok := load(newPath)
+	if !ok {
+		return 2
+	}
+	res := bench.Compare(old, cur, tolerance)
+	fmt.Print(res.Report)
+	switch {
+	case res.Drift:
+		fmt.Fprintln(os.Stderr, "dsfbench: correctness drift between snapshots")
+		return 1
+	case res.Regression:
+		fmt.Fprintf(os.Stderr, "dsfbench: elapsed-time regression beyond %.0f%%\n", tolerance)
+		return 1
+	}
+	return 0
 }

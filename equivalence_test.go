@@ -1,0 +1,70 @@
+package steinerforest_test
+
+import (
+	"fmt"
+	"testing"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/workload"
+)
+
+// TestFastPathEquivalence pins the engine's core contract: the idle/sleep/
+// standby/relay fast paths may change how fast simulated rounds pass, but
+// never what happens in them. Every registered distributed solver, run
+// over a sample of workload families, must produce identical Stats
+// (Rounds, Messages, Bits, MaxMessageBits) and an identical forest with
+// the fast paths forced off and on, at parallelism 1 and 8.
+func TestFastPathEquivalence(t *testing.T) {
+	families := []string{"planted", "grid2d", "geometric"}
+	algos := []string{"det", "rounded", "rand", "trunc", "khan"}
+	for _, fam := range families {
+		gen, err := workload.Generate(fam, workload.Params{N: 48, K: 3, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		ins := gen.Instance
+		for _, algo := range algos {
+			t.Run(fam+"/"+algo, func(t *testing.T) {
+				base := steinerforest.Spec{Algorithm: algo, Seed: 7, NoCertificate: true}
+				ref, err := steinerforest.Solve(ins, withKnobs(base, true, 1))
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				for _, v := range []struct {
+					noFast bool
+					par    int
+				}{{false, 1}, {false, 8}, {true, 8}} {
+					res, err := steinerforest.Solve(ins, withKnobs(base, v.noFast, v.par))
+					if err != nil {
+						t.Fatalf("noFast=%v par=%d: %v", v.noFast, v.par, err)
+					}
+					name := fmt.Sprintf("noFast=%v par=%d", v.noFast, v.par)
+					if a, b := ref.Stats, res.Stats; a.Rounds != b.Rounds ||
+						a.Messages != b.Messages || a.Bits != b.Bits ||
+						a.MaxMessageBits != b.MaxMessageBits ||
+						a.DroppedToTerminated != b.DroppedToTerminated {
+						t.Errorf("%s: stats diverged: %+v vs %+v", name, a, b)
+					}
+					if res.Weight != ref.Weight {
+						t.Errorf("%s: weight %d != %d", name, res.Weight, ref.Weight)
+					}
+					re, ge := ref.Solution.Edges(), res.Solution.Edges()
+					if len(re) != len(ge) {
+						t.Fatalf("%s: forest size %d != %d", name, len(ge), len(re))
+					}
+					for i := range re {
+						if re[i] != ge[i] {
+							t.Fatalf("%s: forest differs at %d: edge %d != %d", name, i, ge[i], re[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func withKnobs(s steinerforest.Spec, noFast bool, par int) steinerforest.Spec {
+	s.NoFastPath = noFast
+	s.Parallelism = par
+	return s
+}

@@ -67,6 +67,9 @@ func B1(sc Scale) *Table {
 			baseline, baselineMS = results, ms
 		} else {
 			identical = reflect.DeepEqual(results, baseline)
+			if !identical {
+				tab.Failed = true
+			}
 		}
 		speedup := "-"
 		if workers > 1 && ms > 0 {

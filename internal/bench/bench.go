@@ -29,6 +29,9 @@ type Table struct {
 	Rows      [][]string `json:"rows"`
 	Notes     []string   `json:"notes,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"` // filled by timed runners (dsfbench)
+	// Failed marks a table whose built-in assertion (an "identical"
+	// column) did not hold; dsfbench exits nonzero when any table failed.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // Render prints t in aligned plain text.
@@ -481,7 +484,7 @@ type Experiment struct {
 var Index = []Experiment{
 	{"t1", T1}, {"t1b", T1b}, {"t2", T2}, {"t3", T3}, {"t4", T4},
 	{"t5", T5}, {"t6", T6}, {"f1", F1}, {"a1", A1}, {"e1", E1},
-	{"b1", B1},
+	{"b1", B1}, {"e2", E2},
 }
 
 // All returns every experiment in index order.

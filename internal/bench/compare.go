@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompareResult is the outcome of diffing two benchmark snapshots.
+type CompareResult struct {
+	Report     string
+	Drift      bool // a correctness cell changed between the snapshots
+	Regression bool // a shared table's elapsed_ms regressed beyond tolerance
+}
+
+// timingColumn reports whether a column holds wall-clock-derived values,
+// which legitimately differ between runs. Everything else — rounds,
+// weights, ratios, message counts, feasibility flags — is deterministic
+// under the fixed benchmark seeds and must match exactly.
+func timingColumn(tableID, header string) bool {
+	if strings.Contains(header, "ms") || strings.Contains(header, "/s") ||
+		strings.Contains(header, "ns/") || strings.Contains(header, "allocs") {
+		return true
+	}
+	// T4/A1's "speedup" is a round-count ratio (deterministic); B1's and
+	// E2's are wall-clock ratios.
+	if header == "speedup" && tableID != "T4" && tableID != "A1" {
+		return true
+	}
+	return false
+}
+
+// Compare diffs two snapshots produced by dsfbench -json: per shared
+// table, every non-timing cell must be identical (drift otherwise), and
+// elapsed_ms may not regress by more than tolerance percent. Tables
+// present on only one side are reported but are neither drift nor
+// regression — new experiments are expected to appear over time.
+func Compare(old, new []*Table, tolerance float64) CompareResult {
+	var b strings.Builder
+	res := CompareResult{}
+	newByID := make(map[string]*Table, len(new))
+	for _, t := range new {
+		newByID[t.ID] = t
+	}
+	oldByID := make(map[string]*Table, len(old))
+	for _, t := range old {
+		oldByID[t.ID] = t
+	}
+
+	for _, ot := range old {
+		nt, ok := newByID[ot.ID]
+		if !ok {
+			fmt.Fprintf(&b, "%-3s  only in old snapshot\n", ot.ID)
+			continue
+		}
+		drift := compareTable(&b, ot, nt)
+		if drift > 0 {
+			res.Drift = true
+		}
+		delta := 0.0
+		if ot.ElapsedMS > 0 {
+			delta = (nt.ElapsedMS - ot.ElapsedMS) / ot.ElapsedMS * 100
+		}
+		status := "ok"
+		if drift > 0 {
+			status = fmt.Sprintf("DRIFT (%d cells)", drift)
+		} else if delta > tolerance {
+			status = "SLOWER"
+			res.Regression = true
+		}
+		fmt.Fprintf(&b, "%-3s  %-18s  elapsed %8.1fms -> %8.1fms  (%+.1f%%)\n",
+			ot.ID, status, ot.ElapsedMS, nt.ElapsedMS, delta)
+	}
+	for _, nt := range new {
+		if _, ok := oldByID[nt.ID]; !ok {
+			fmt.Fprintf(&b, "%-3s  new table (%s)\n", nt.ID, nt.Title)
+		}
+	}
+	res.Report = b.String()
+	return res
+}
+
+// compareTable prints per-cell correctness differences and returns how
+// many were found.
+func compareTable(b *strings.Builder, ot, nt *Table) int {
+	drift := 0
+	mismatch := func(format string, args ...any) {
+		drift++
+		fmt.Fprintf(b, "  %s: ", ot.ID)
+		fmt.Fprintf(b, format, args...)
+		b.WriteByte('\n')
+	}
+	if strings.Join(ot.Header, "|") != strings.Join(nt.Header, "|") {
+		mismatch("header changed: %v -> %v", ot.Header, nt.Header)
+		return drift
+	}
+	if len(ot.Rows) != len(nt.Rows) {
+		mismatch("row count %d -> %d", len(ot.Rows), len(nt.Rows))
+		return drift
+	}
+	for i := range ot.Rows {
+		orow, nrow := ot.Rows[i], nt.Rows[i]
+		for c, h := range ot.Header {
+			if c >= len(orow) || c >= len(nrow) || timingColumn(ot.ID, h) {
+				continue
+			}
+			if orow[c] != nrow[c] {
+				mismatch("row %d %q: %s -> %s", i, h, orow[c], nrow[c])
+			}
+		}
+	}
+	return drift
+}

@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"time"
 
+	steinerforest "steinerforest"
 	"steinerforest/internal/congest"
 	"steinerforest/internal/graph"
+	"steinerforest/internal/workload"
 )
 
 // E1 measures the raw engine: a dense full-degree flood on grid networks of
@@ -57,6 +59,9 @@ func E1(sc Scale) *Table {
 		}
 		same := serial.Messages == sharded.Messages && serial.Bits == sharded.Bits &&
 			serial.Rounds == sharded.Rounds
+		if !same {
+			tab.Failed = true
+		}
 		rate := func(ms float64) string {
 			if ms <= 0 {
 				return "-"
@@ -77,3 +82,117 @@ func E1(sc Scale) *Table {
 type floodMsg struct{ v int64 }
 
 func (floodMsg) Bits() int { return 64 }
+
+// E2 measures the event-driven scheduler end to end: every distributed
+// solver runs the same instances with the idle/sleep fast paths on and
+// off, timing ns per simulated round, plus an engine-level idle workload
+// whose steady state must allocate nothing. "identical" asserts that the
+// two schedulers return bit-identical Stats — the fast paths may only
+// change how fast rounds pass, never what happens in them.
+func E2(sc Scale) *Table {
+	tab := &Table{
+		ID:    "E2",
+		Title: "event-driven scheduler: ns/round and allocs/round, fast paths on vs off",
+		Claim: "engineering: parked nodes cost no scheduler work; wire messages and reused buffers keep steady-state rounds allocation-free",
+		Header: []string{"workload", "n", "rounds", "ms(fast)", "ms(off)",
+			"ns/rnd(fast)", "ns/rnd(off)", "speedup", "allocs/node-rnd", "identical"},
+	}
+	shrink := func(n int) int {
+		n /= int(sc)
+		if n < 24 {
+			n = 24
+		}
+		return n
+	}
+	addRow := func(name string, n int, run func(noFast bool) (*congest.Stats, error)) {
+		timed := func(noFast bool) (*congest.Stats, float64, float64, error) {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			stats, err := run(noFast)
+			ms := float64(time.Since(start).Microseconds()) / 1000.0
+			runtime.ReadMemStats(&after)
+			return stats, ms, float64(after.Mallocs - before.Mallocs), err
+		}
+		fast, msFast, allocs, err := timed(false)
+		if err != nil {
+			tab.Notes = append(tab.Notes, name+": "+err.Error())
+			return
+		}
+		slow, msSlow, _, err := timed(true)
+		if err != nil {
+			tab.Notes = append(tab.Notes, name+": "+err.Error())
+			return
+		}
+		same := fast.Rounds == slow.Rounds && fast.Messages == slow.Messages &&
+			fast.Bits == slow.Bits && fast.MaxMessageBits == slow.MaxMessageBits &&
+			fast.DroppedToTerminated == slow.DroppedToTerminated
+		if !same {
+			tab.Failed = true
+		}
+		perRound := func(ms float64) string {
+			return fmt.Sprintf("%.0f", ms*1e6/float64(fast.Rounds))
+		}
+		tab.Rows = append(tab.Rows, []string{
+			name, d(n), d(fast.Rounds), f(msFast), f(msSlow),
+			perRound(msFast), perRound(msSlow), f(msSlow / msFast),
+			fmt.Sprintf("%.3f", allocs/float64(fast.Rounds)/float64(n)),
+			fmt.Sprintf("%v", same),
+		})
+	}
+
+	// Engine-level idle workload: long parked stretches punctuated by one
+	// wire flood, the shape of an upcast pipeline's silent majority.
+	idleN := shrink(3600)
+	side := 1
+	for side*side < idleN {
+		side++
+	}
+	g := graph.Grid(side, side, graph.UnitWeights)
+	addRow("idle+wireflood", g.N(), func(noFast bool) (*congest.Stats, error) {
+		return congest.Run(g, func(h *congest.Host) {
+			out := make([]congest.Send, h.Degree())
+			for cycle := 0; cycle < 12; cycle++ {
+				h.Idle(199)
+				for p := 0; p < h.Degree(); p++ {
+					out[p] = congest.Send{Port: p, Wire: congest.Wire{Kind: benchWireKind, C: int64(cycle)}}
+				}
+				h.Exchange(out)
+			}
+		}, congest.WithFastPath(!noFast))
+	})
+
+	solverRow := func(algo string, n, k int) {
+		n = shrink(n)
+		gen, err := workload.Generate("planted", workload.Params{N: n, K: k, Seed: 9})
+		if err != nil {
+			tab.Notes = append(tab.Notes, algo+": "+err.Error())
+			return
+		}
+		addRow(algo, n, func(noFast bool) (*congest.Stats, error) {
+			res, err := steinerforest.Solve(gen.Instance, steinerforest.Spec{
+				Algorithm: algo, Seed: 5, NoCertificate: true, NoFastPath: noFast,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Stats, nil
+		})
+	}
+	solverRow("det", 128, 4)
+	solverRow("det", 512, 4)
+	solverRow("rounded", 128, 4)
+	solverRow("rand", 192, 6)
+	solverRow("trunc", 192, 6)
+	solverRow("khan", 96, 4)
+	tab.Notes = append(tab.Notes,
+		"fast off = WithFastPath(false): Idle/Sleep/Standby/Relay degrade to per-round exchanges; identical=true pins bit-equal Stats",
+		"allocs/node-rnd is the fast run's whole-process malloc count per simulated node-round (engine + solver + GC noise)")
+	return tab
+}
+
+// benchWireKind is the test payload kind of the E2 idle workload (64-bit
+// value, matching floodMsg's accounting).
+const benchWireKind uint16 = 100
+
+func init() { congest.RegisterWireKind(benchWireKind, 64) }

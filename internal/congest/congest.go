@@ -11,16 +11,26 @@
 // direction per round, per-message bit budgets, and explicit termination
 // (the run ends when every node's program returns).
 //
-// The round scheduler is allocation-free on its hot path: duplicate-send
-// and liveness tracking use generation-stamped arrays instead of per-round
-// maps, return ports are found by binary search over the sorted port
-// slices, and messages are placed directly into per-node inbox slots
-// indexed by destination port, so delivery needs no per-round sorting or
-// buffer allocation. With WithParallelism(p) the placement and delivery
-// work is sharded across p workers by destination node; because
-// validation and statistics run in a deterministic serial pass and each
-// shard owns a disjoint node range, a run's Stats and every delivered
-// message are bit-for-bit identical for any parallelism level.
+// The round scheduler is event-driven and allocation-free on its hot path.
+// Nodes that have nothing to say park instead of spinning: Host.Idle(k)
+// registers a wake round, Host.Sleep and Host.SleepUntil park until a
+// message arrives (messages to a sleeping node wake it that same round,
+// via a generation-stamped wake queue), and when every live node is parked
+// the engine advances the round counter in bulk to the next deadline —
+// rounds in which nobody speaks cost no channel traffic at all. Fixed-shape
+// protocol messages travel as inline Wire values instead of boxed
+// interfaces, return ports come from a table precomputed at Run setup
+// rather than a per-message binary search, and duplicate-send/liveness
+// tracking uses generation-stamped arrays, so a steady-state round
+// performs no heap allocation. The fast paths are observationally
+// identical to plain Exchange loops (WithFastPath(false) forces the
+// loops): Stats and every delivered message are bit-for-bit the same.
+//
+// With WithParallelism(p) the placement and delivery work is sharded
+// across p workers by destination node; because validation and statistics
+// run in a deterministic serial pass and each shard owns a disjoint node
+// range, a run's Stats and every delivered message are bit-for-bit
+// identical for any parallelism level.
 //
 // Runs are deterministic: inboxes are sorted by port, per-node RNGs are
 // seeded from (seed, node ID), and node programs see only local information
@@ -43,18 +53,22 @@ type Message interface {
 	Bits() int
 }
 
-// Send is an outgoing message on one of the sender's ports.
+// Send is an outgoing message on one of the sender's ports: either a boxed
+// Message or an inline Wire value (exactly one of the two must be set).
 type Send struct {
 	Port int
 	Msg  Message
+	Wire Wire
 }
 
 // Recv is a received message, annotated with the local port it arrived on
-// and the sender's node ID.
+// and the sender's node ID. Wire.Kind != 0 marks a wire-carried payload
+// (Msg is nil in that case).
 type Recv struct {
 	Port int
 	From int
 	Msg  Message
+	Wire Wire
 }
 
 // Program is the code run by every node. It must eventually return; the
@@ -90,12 +104,18 @@ var ErrBandwidth = errors.New("congest: message exceeds bandwidth")
 // repository always indicates a protocol bug (missing termination).
 var ErrRoundLimit = errors.New("congest: round limit exceeded")
 
+// ErrAsleep is returned when every live node is sleeping without a wake
+// round and no message is in flight — the fast-path diagnosis of a
+// protocol that would otherwise spin silently into the round cap.
+var ErrAsleep = errors.New("congest: every live node is asleep with nothing to wake it")
+
 type options struct {
 	bandwidth   int
 	maxRounds   int
 	seed        int64
 	trackEdges  bool
 	parallelism int
+	noFastPath  bool
 }
 
 // Option configures Run.
@@ -121,6 +141,12 @@ func WithEdgeTracking() Option { return func(o *options) { o.trackEdges = true }
 // parallelism level.
 func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p } }
 
+// WithFastPath enables (default) or disables the idle/sleep scheduler fast
+// paths. Disabled, Idle/Sleep/SleepUntil degrade to their defining
+// Exchange(nil) loops; the observable behavior — Stats and delivered
+// messages — is identical either way, which the equivalence tests pin.
+func WithFastPath(on bool) Option { return func(o *options) { o.noFastPath = !on } }
+
 // DefaultBandwidth is the per-edge budget used when none is given:
 // 32 words of ceil(log2(n+1)) bits, a generous O(log n).
 func DefaultBandwidth(n int) int {
@@ -137,12 +163,15 @@ func DefaultBandwidth(n int) int {
 // Host is a node's handle to the simulation. All methods are to be called
 // only from that node's program goroutine.
 type Host struct {
-	id      int
-	n       int
-	ports   []graph.Half // incident edges sorted by neighbor ID
-	rng     *rand.Rand   // lazily created on first Rand call
-	rngSeed int64
-	round   int
+	id         int
+	n          int
+	ports      []graph.Half // incident edges sorted by neighbor ID
+	rng        *rand.Rand   // lazily created on first Rand call
+	rngSeed    int64
+	round      int
+	fast       bool
+	wokeRound  int // written by the engine before a park wake-up reply
+	relayLastN int // written by the engine: trailing inbox size of a relay wake
 
 	submit chan<- submission
 	reply  chan []Recv
@@ -201,7 +230,7 @@ func (h *Host) Rand() *rand.Rand {
 func (h *Host) Exchange(out []Send) []Recv {
 	// The submit channel holds one slot per node and every node has at most
 	// one submission in flight, so this send never blocks.
-	h.submit <- submission{node: h.id, out: out}
+	h.submit <- submission{node: h.id, kind: subExchange, out: out}
 	select {
 	case in := <-h.reply:
 		h.round++
@@ -211,26 +240,394 @@ func (h *Host) Exchange(out []Send) []Recv {
 	}
 }
 
-// Idle advances the node through the given number of rounds without sending.
+// Idle advances the node through the given number of rounds without
+// sending; anything delivered to it meanwhile is discarded unread, exactly
+// as an Exchange(nil) loop that ignores its results would. On the fast
+// path the node parks once and the scheduler skips it until the wake
+// round.
 func (h *Host) Idle(rounds int) {
-	for i := 0; i < rounds; i++ {
-		h.Exchange(nil)
+	if rounds <= 0 {
+		return
+	}
+	if !h.fast {
+		for i := 0; i < rounds; i++ {
+			h.Exchange(nil)
+		}
+		return
+	}
+	h.park(h.round+rounds, false)
+}
+
+// Sleep parks the node until a round delivers it at least one message and
+// returns that round's inbox (port-sorted), behaving exactly like
+//
+//	for { if in := h.Exchange(nil); len(in) > 0 { return in } }
+//
+// but without per-round scheduler work. A protocol in which every live
+// node sleeps unboundedly with no message in flight is reported as
+// ErrAsleep (the Exchange-loop equivalent would spin into the round cap).
+func (h *Host) Sleep() []Recv {
+	if !h.fast {
+		for {
+			if in := h.Exchange(nil); len(in) > 0 {
+				return in
+			}
+		}
+	}
+	return h.park(-1, true)
+}
+
+// SleepUntil parks the node until either a round delivers it a message
+// (returning that round's inbox) or the node's completed-round count
+// reaches round (returning nil). It is the message-interruptible Idle:
+//
+//	for h.Round() < round { if in := h.Exchange(nil); len(in) > 0 { return in } }
+//	return nil
+func (h *Host) SleepUntil(round int) []Recv {
+	if round <= h.round {
+		return nil
+	}
+	if !h.fast {
+		for h.round < round {
+			if in := h.Exchange(nil); len(in) > 0 {
+				return in
+			}
+		}
+		return nil
+	}
+	return h.park(round, true)
+}
+
+// Standby parks the node on a two-round heartbeat, the steady state of a
+// convergecast control plane (dist.RunQuiet): starting next round the
+// engine sends beat on port every second round on the node's behalf, and
+// the node stays parked while the off rounds deliver nothing and each
+// heartbeat round delivers exactly expect messages of beat's kind (its
+// own children's heartbeats, consumed silently). The first deviating
+// inbox wakes the node and is returned — it is exactly what the loop
+//
+//	for i := 0; ; i++ {
+//	    if in := h.Exchange(nil); len(in) > 0 { return in }
+//	    var out []Send
+//	    if i >= maskLen || mask>>i&1 == 1 { out = []Send{{Port: port, Wire: beat}} }
+//	    in := h.Exchange(out)
+//	    if len(in) != expect { return in }
+//	    for _, rc := range in { if rc.Wire.Kind != beat.Kind { return in } }
+//	}
+//
+// would have returned, at the same round, with the same messages sent.
+// The mask covers a ramp-up: heartbeat round i < maskLen beats only if
+// mask bit i is set, and every round from maskLen on beats — so a node
+// whose report window still carries a few active slots can park
+// immediately and let the engine replay the window's exact tail.
+//
+// Unlike Sleep, a standing node keeps costing the engine one table-driven
+// emission per heartbeat round — but no goroutine wakeups and no channel
+// traffic, so a quiescent subtree is pure arithmetic.
+func (h *Host) Standby(port int, beat Wire, expect int, mask uint64, maskLen int) []Recv {
+	if !h.fast {
+		for i := 0; ; i++ {
+			if in := h.Exchange(nil); len(in) > 0 {
+				return in
+			}
+			var out []Send
+			if i >= maskLen || mask>>uint(i)&1 == 1 {
+				out = []Send{{Port: port, Wire: beat}}
+			}
+			in := h.Exchange(out)
+			if len(in) != expect {
+				return in
+			}
+			for _, rc := range in {
+				if rc.Wire.Kind != beat.Kind {
+					return in
+				}
+			}
+		}
+	}
+	h.submit <- submission{node: h.id, kind: subStand,
+		ext: &subExt{hbPort: port, hbWire: beat, hbN: expect, hbMask: mask, hbMaskLen: maskLen}}
+	select {
+	case in := <-h.reply:
+		h.round = h.wokeRound
+		return in
+	case <-h.abort:
+		panic(abortSentinel{})
+	}
+}
+
+// Await is Standby's waiting counterpart for a node whose convergecast
+// role is blocked — it reports nothing until all expect children echo in
+// one heartbeat round. The node parks sending nothing; heartbeat rounds
+// delivering fewer than expect messages of the given kind are consumed
+// silently (they leave the node's observable state unchanged: any partial
+// count keeps it silent), and the first round delivering payload mail, a
+// full echo set, or any other kind wakes it with that inbox. Equivalent
+// to:
+//
+//	for {
+//	    if in := h.Exchange(nil); len(in) > 0 { return in }
+//	    in := h.Exchange(nil)
+//	    if len(in) >= expect { return in }
+//	    for _, rc := range in { if rc.Wire.Kind != kind { return in } }
+//	}
+func (h *Host) Await(kind uint16, expect int) []Recv {
+	if !h.fast {
+		for {
+			if in := h.Exchange(nil); len(in) > 0 {
+				return in
+			}
+			in := h.Exchange(nil)
+			if len(in) >= expect {
+				return in
+			}
+			for _, rc := range in {
+				if rc.Wire.Kind != kind {
+					return in
+				}
+			}
+		}
+	}
+	h.submit <- submission{node: h.id, kind: subStand,
+		ext: &subExt{hbWire: Wire{Kind: kind}, hbN: expect, hbWait: true}}
+	select {
+	case in := <-h.reply:
+		h.round = h.wokeRound
+		return in
+	case <-h.abort:
+		panic(abortSentinel{})
+	}
+}
+
+// Relay parks the node as a broadcast pipeline stage: every message
+// arriving on srcPort is re-sent by the engine on every port in dstPorts
+// one round later, with the node itself parked. A CONGEST port delivers at
+// most one message per round, so the relayed stream accumulates in arrival
+// order; the node wakes when a message of kind endKind arrives on srcPort
+// (accumulated, not forwarded) or when a round delivers mail on any other
+// port. Relay returns the accumulated rounds split in two: relayed holds
+// the clean-round messages, already forwarded downstream; last holds the
+// waking round's full inbox (port-sorted), whose forwarding is again the
+// node's business. It is equivalent to
+//
+//	var fwd []Send
+//	for {
+//	    in := h.Exchange(fwd)
+//	    fwd = nil
+//	    for _, rc := range in {
+//	        if rc.Port != srcPort || rc.Wire.Kind == endKind {
+//	            return relayed, in // deviation: nothing from in forwarded
+//	        }
+//	        for _, p := range dstPorts { fwd = append(fwd, resend(p, rc)) }
+//	        relayed = append(relayed, rc)
+//	    }
+//	}
+//
+// and turns an entire pipelined broadcast — the hot inner loop of the
+// collect primitives — into engine-internal table work for every node
+// that is neither the stream's source nor a point of deviation.
+//
+// dstPorts must be strictly ascending (which also guarantees one send per
+// port per round); both schedulers reject violations by failing the run.
+func (h *Host) Relay(srcPort int, dstPorts []int, endKind uint16) (relayed, last []Recv) {
+	for i, p := range dstPorts {
+		if p < 0 || (i > 0 && p <= dstPorts[i-1]) {
+			panic(fmt.Sprintf("congest: Relay destination ports %v not ascending", dstPorts))
+		}
+	}
+	if !h.fast {
+		var acc []Recv
+		var fwd []Send
+		for {
+			in := h.Exchange(fwd)
+			fwd = nil
+			for _, rc := range in {
+				if rc.Port != srcPort || rc.Wire.Kind == endKind {
+					return acc, in
+				}
+			}
+			for _, rc := range in {
+				for _, p := range dstPorts {
+					fwd = append(fwd, Send{Port: p, Msg: rc.Msg, Wire: rc.Wire})
+				}
+				acc = append(acc, rc)
+			}
+		}
+	}
+	h.submit <- submission{node: h.id, kind: subRelay,
+		ext: &subExt{hbPort: srcPort, relayDst: dstPorts, relayEnd: endKind}}
+	select {
+	case in := <-h.reply:
+		h.round = h.wokeRound
+		cut := len(in) - h.relayLastN
+		return in[:cut], in[cut:]
+	case <-h.abort:
+		panic(abortSentinel{})
+	}
+}
+
+// park submits a park request and blocks until the engine wakes this node,
+// syncing the local round counter to the wake round.
+func (h *Host) park(wakeAt int, wakeOnMsg bool) []Recv {
+	h.submit <- submission{node: h.id, kind: subPark, ext: &subExt{wakeAt: wakeAt, wakeOnMsg: wakeOnMsg}}
+	select {
+	case in := <-h.reply:
+		h.round = h.wokeRound
+		return in
+	case <-h.abort:
+		panic(abortSentinel{})
 	}
 }
 
 type abortSentinel struct{}
 
+const (
+	subExchange = uint8(iota)
+	subPark
+	subStand
+	subRelay
+	subDone
+	subErr
+)
+
+// submission is one node's per-round message to the scheduler. The hot
+// case (an exchange) must stay small — it is copied through a channel for
+// every node round — so the parameters of the rare parking kinds live
+// behind a pointer allocated once per park.
 type submission struct {
 	node int
+	kind uint8
 	out  []Send
-	done bool
+	ext  *subExt // park/stand/relay parameters; nil for exchanges
 	err  error
+}
+
+type subExt struct {
+	wakeAt    int // subPark: resume at this completed-round count; -1 = none
+	wakeOnMsg bool
+	hbPort    int    // subStand: heartbeat port
+	hbWire    Wire   // subStand: heartbeat payload
+	hbN       int    // subStand: expected echoes per heartbeat round
+	hbMask    uint64 // subStand: ramp-up beat mask
+	hbMaskLen int    // subStand: number of masked heartbeat rounds
+	hbWait    bool   // subStand: waiting order (no beats; wake on full count)
+	relayDst  []int  // subRelay: forwarding ports, ascending
+	relayEnd  uint16 // subRelay: stream-terminating wire kind
 }
 
 // routed is a validated message en route to its destination shard.
 type routed struct {
 	dst, dstPort, from int32
 	msg                Message
+	wire               Wire
+}
+
+// nodeMode is a node's scheduler state. Every live node is either runnable
+// (it submits one submission per round) or parked (idle or sleeping).
+type nodeMode uint8
+
+const (
+	modeRun   nodeMode = iota
+	modeIdle           // parked; inbound mail is discarded unread
+	modeSleep          // parked; inbound mail wakes it that round
+	modeStand          // parked on a standing heartbeat order
+	modeRelay          // parked as a forwarding pipeline stage
+	modeDone
+)
+
+// standing is a parked node's heartbeat order: every round with parity
+// phase, the engine sends wire on port for it (dst/dstPort/bits/edge are
+// precomputed at park time), and any inbox other than exactly expectN
+// messages of wire's kind on a heartbeat round — or any mail at all on an
+// off round — wakes the node.
+type standing struct {
+	port     int32
+	dst      int32
+	dstPort  int32
+	edge     int32
+	bits     int32
+	expectN  int32
+	phase    uint8
+	maskLen  uint8
+	waiting  bool   // no beats; heartbeat rounds below expectN are consumed
+	mask     uint64 // heartbeat i beats iff i >= maskLen or bit i is set
+	beatBase int    // round index of heartbeat 0
+	wire     Wire
+}
+
+// relayDest is one precomputed forwarding target of a relay order.
+type relayDest struct {
+	dst     int32
+	dstPort int32
+	edge    int32
+}
+
+// relaying is a parked node's pipeline-stage order: the engine forwards
+// each clean srcPort arrival to dsts one round later and accumulates the
+// stream in buf until the end kind or a deviating inbox wakes the node.
+type relaying struct {
+	srcPort  int32
+	endKind  uint16
+	hasPend  bool
+	pendBits int32
+	pendMsg  Message
+	pendWire Wire
+	dsts     []relayDest
+	buf      []Recv
+}
+
+// wakeEntry schedules a parked node's deadline wake-up. Entries are lazily
+// invalidated: stamp must still match the node's park generation when the
+// entry surfaces, so a node woken early (by a message) simply leaves a
+// dead entry behind.
+type wakeEntry struct {
+	round int
+	node  int32
+	stamp uint32
+}
+
+// wakeHeap is a hand-rolled min-heap on round (container/heap would box
+// every push through an interface).
+type wakeHeap []wakeEntry
+
+func (h *wakeHeap) push(e wakeEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].round <= q[i].round {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+}
+
+func (h *wakeHeap) pop() wakeEntry {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	*h = q[:last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(q) && q[l].round < q[s].round {
+			s = l
+		}
+		if r < len(q) && q[r].round < q[s].round {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[s], q[i] = q[i], q[s]
+		i = s
+	}
+	return top
 }
 
 // engine holds the reusable round-scheduler state. All per-round bookkeeping
@@ -242,9 +639,22 @@ type engine struct {
 	stats *Stats
 	hosts []*Host
 
-	alive     []bool       // node still running
+	mode      []nodeMode
+	parkStamp []uint32 // bumped on every park/wake; validates wake entries
+	wakeAt    []int    // parked node's deadline (-1 = none)
+	wake      wakeHeap
+	stand     []standing // per node: heartbeat order (valid when modeStand)
+	standers  []int32    // nodes currently in modeStand
+	emitters  int        // standers with a beating (non-waiting) order
+	relays    []relaying // per node: relay order (valid when modeRelay)
+	relayers  []int32    // nodes currently in modeRelay
+	relPend   int        // relayers holding a forward due next round
+	runnable  int        // live nodes that will submit this round
+	live      int
+
 	subs      []submission // this round's submission, indexed by node
 	shardSubs [][]int32    // per shard: nodes that exchanged this round
+	woken     [][]int32    // per shard: sleepers woken by mail this round
 	sentGen   [][]uint32   // per node per port: duplicate-send stamp
 	slots     [][]Recv     // per node per port: inbox slot
 	slotGen   [][]uint32   // stamp: slot filled this round
@@ -253,10 +663,11 @@ type engine struct {
 	outBuf    [][]Recv     // per node: reusable delivery buffer
 	gen       uint32
 
-	shardOf []int32    // dst node -> shard
-	buckets [][]routed // per shard: validated messages of this round (p > 1)
-	start   []chan struct{}
-	wg      sync.WaitGroup
+	returnPort [][]int32  // [v][port]: the far endpoint's port back to v
+	shardOf    []int32    // dst node -> shard
+	buckets    [][]routed // per shard: validated messages of this round (p > 1)
+	start      []chan struct{}
+	wg         sync.WaitGroup
 }
 
 // Run executes program on every node of g and returns aggregate statistics.
@@ -301,25 +712,51 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	}()
 
 	e := &engine{
-		n:         n,
-		o:         o,
-		stats:     stats,
-		hosts:     make([]*Host, n),
-		alive:     make([]bool, n),
-		subs:      make([]submission, n),
-		shardSubs: make([][]int32, p),
-		sentGen:   make([][]uint32, n),
-		slots:     make([][]Recv, n),
-		slotGen:   make([][]uint32, n),
-		touched:   make([][]int32, n),
-		tGen:      make([]uint32, n),
-		outBuf:    make([][]Recv, n),
-		gen:       1,
-		shardOf:   make([]int32, n),
-		buckets:   make([][]routed, p),
+		n:          n,
+		o:          o,
+		stats:      stats,
+		hosts:      make([]*Host, n),
+		mode:       make([]nodeMode, n),
+		parkStamp:  make([]uint32, n),
+		wakeAt:     make([]int, n),
+		stand:      make([]standing, n),
+		relays:     make([]relaying, n),
+		runnable:   n,
+		live:       n,
+		subs:       make([]submission, n),
+		shardSubs:  make([][]int32, p),
+		woken:      make([][]int32, p),
+		sentGen:    make([][]uint32, n),
+		slots:      make([][]Recv, n),
+		slotGen:    make([][]uint32, n),
+		touched:    make([][]int32, n),
+		tGen:       make([]uint32, n),
+		outBuf:     make([][]Recv, n),
+		gen:        1,
+		returnPort: make([][]int32, n),
+		shardOf:    make([]int32, n),
+		buckets:    make([][]routed, p),
 	}
 	for v := 0; v < n; v++ {
 		e.shardOf[v] = int32(v * p / n)
+	}
+	// Precompute the return-port table: for the edge at (v, port), the port
+	// of the far endpoint that leads back to v. One pass over all halves,
+	// pairing the two sides of each edge by its index, replaces the
+	// per-delivered-message binary search of PortOf.
+	firstHalf := make([]int64, g.M()) // packed (node<<32 | port) + 1; 0 = unseen
+	for v := 0; v < n; v++ {
+		ports := g.Neighbors(v)
+		e.returnPort[v] = make([]int32, len(ports))
+		for q, hf := range ports {
+			if fh := firstHalf[hf.Index]; fh == 0 {
+				firstHalf[hf.Index] = (int64(v)<<32 | int64(q)) + 1
+			} else {
+				fv, fq := int((fh-1)>>32), int32((fh-1)&0xFFFFFFFF)
+				e.returnPort[v][q] = fq
+				e.returnPort[fv][fq] = int32(q)
+			}
+		}
 	}
 	for v := 0; v < n; v++ {
 		ports := g.Neighbors(v)
@@ -328,11 +765,11 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 			n:       n,
 			ports:   ports,
 			rngSeed: o.seed + int64(v)*0x9E3779B9,
+			fast:    !o.noFastPath,
 			submit:  subCh,
 			reply:   make(chan []Recv, 1),
 			abort:   abort,
 		}
-		e.alive[v] = true
 		e.sentGen[v] = make([]uint32, len(ports))
 		e.slots[v] = make([]Recv, len(ports))
 		e.slotGen[v] = make([]uint32, len(ports))
@@ -365,42 +802,161 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		return nil, err
 	}
 
-	running := n
-	for running > 0 {
-		expect := running
-		exchCount := 0
+	for e.live > 0 {
+		expect := e.runnable
+		exch := 0
 		for i := 0; i < expect; i++ {
 			s := <-subCh
-			switch {
-			case s.err != nil:
+			switch s.kind {
+			case subErr:
 				return fail(s.err)
-			case s.done:
-				running--
-				e.alive[s.node] = false
+			case subDone:
+				e.live--
+				e.runnable--
+				e.mode[s.node] = modeDone
+				e.parkStamp[s.node]++
+			case subPark:
+				x := s.ext
+				e.runnable--
+				if x.wakeOnMsg {
+					e.mode[s.node] = modeSleep
+				} else {
+					e.mode[s.node] = modeIdle
+				}
+				e.parkStamp[s.node]++
+				e.wakeAt[s.node] = x.wakeAt
+				if x.wakeAt >= 0 {
+					e.wake.push(wakeEntry{round: x.wakeAt, node: int32(s.node), stamp: e.parkStamp[s.node]})
+				}
+			case subStand:
+				v := s.node
+				x := s.ext
+				if x.hbMaskLen < 0 || x.hbMaskLen > 64 {
+					return fail(fmt.Errorf("congest: node %d standing by with mask length %d", v, x.hbMaskLen))
+				}
+				st := standing{
+					expectN:  int32(x.hbN),
+					phase:    uint8((stats.Rounds + 1) % 2),
+					waiting:  x.hbWait,
+					maskLen:  uint8(x.hbMaskLen),
+					mask:     x.hbMask,
+					beatBase: stats.Rounds + 1,
+					wire:     x.hbWire,
+				}
+				if !x.hbWait {
+					// An emitting order sends on the node's behalf: validate
+					// everything now that the engine will not re-check per
+					// round.
+					h := e.hosts[v]
+					if x.hbPort < 0 || x.hbPort >= len(h.ports) {
+						return fail(fmt.Errorf("congest: node %d standing by on invalid port %d", v, x.hbPort))
+					}
+					b, ok := wireBits(x.hbWire)
+					if !ok {
+						return fail(fmt.Errorf("congest: node %d standing by with unregistered wire kind %d", v, x.hbWire.Kind))
+					}
+					if b > o.bandwidth {
+						return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, v))
+					}
+					st.port = int32(x.hbPort)
+					st.dst = int32(h.ports[x.hbPort].To)
+					st.dstPort = e.returnPort[v][x.hbPort]
+					st.edge = int32(h.ports[x.hbPort].Index)
+					st.bits = int32(b)
+				}
+				e.runnable--
+				e.mode[v] = modeStand
+				e.parkStamp[v]++
+				e.stand[v] = st
+				e.standers = append(e.standers, int32(v))
+				if !st.waiting {
+					e.emitters++
+				}
+			case subRelay:
+				v := s.node
+				x := s.ext
+				h := e.hosts[v]
+				if x.hbPort < 0 || x.hbPort >= len(h.ports) {
+					return fail(fmt.Errorf("congest: node %d relaying from invalid port %d", v, x.hbPort))
+				}
+				rl := &e.relays[v]
+				rl.srcPort = int32(x.hbPort)
+				rl.endKind = x.relayEnd
+				rl.hasPend = false
+				rl.buf = nil // the previous buffer was handed to the node
+				rl.dsts = rl.dsts[:0]
+				prev := -1
+				for _, p := range x.relayDst {
+					if p < 0 || p >= len(h.ports) || p <= prev {
+						return fail(fmt.Errorf("congest: node %d relaying to invalid ports %v", v, x.relayDst))
+					}
+					prev = p
+					rl.dsts = append(rl.dsts, relayDest{
+						dst:     int32(h.ports[p].To),
+						dstPort: e.returnPort[v][p],
+						edge:    int32(h.ports[p].Index),
+					})
+				}
+				e.runnable--
+				e.mode[v] = modeRelay
+				e.parkStamp[v]++
+				e.relayers = append(e.relayers, int32(v))
 			default:
 				e.subs[s.node] = s
 				sh := e.shardOf[s.node]
 				e.shardSubs[sh] = append(e.shardSubs[sh], int32(s.node))
-				exchCount++
+				exch++
 			}
 		}
-		if exchCount == 0 {
-			break
+		beating := e.relPend > 0 || e.heartbeatsDue()
+		if exch == 0 && !beating {
+			if e.live == 0 {
+				break
+			}
+			// Every live node is parked and no standing order fires this
+			// round: jump the clock to the next event. The skipped rounds
+			// are exactly the rounds in which every node would have
+			// exchanged nothing.
+			r, ok := e.nextWake()
+			if e.emitters > 0 && (!ok || r > stats.Rounds+1) {
+				// All beating orders are off-parity this round, so the
+				// next heartbeat fires one round from now. (Waiting orders
+				// never fire: silent rounds cannot deviate them, so they
+				// are safe to jump across.)
+				r, ok = stats.Rounds+1, true
+			}
+			if !ok {
+				return fail(ErrAsleep)
+			}
+			if r > o.maxRounds {
+				return fail(fmt.Errorf("%w (%d)", ErrRoundLimit, o.maxRounds))
+			}
+			stats.Rounds = r
+			e.wakeDue(r)
+			continue
 		}
 		if stats.Rounds >= o.maxRounds {
 			return fail(fmt.Errorf("%w (%d)", ErrRoundLimit, o.maxRounds))
+		}
+		if beating {
+			e.emitRelays()
+			e.emitHeartbeats()
 		}
 		// Serial pass: validate, account, and route every send. All stats
 		// are order-independent sums and maxima and every message lands in
 		// a slot keyed by (destination, port), so the arrival order of
 		// submissions cannot influence the outcome. With p == 1 messages
 		// are placed immediately; otherwise they are handed to the
-		// destination shard's bucket.
+		// destination shard's bucket. Sleeping destinations are flipped to
+		// runnable here (serially, hence deterministically); their inbox is
+		// delivered by the shard pass below.
 		for w := 0; w < p; w++ {
 			for _, v32 := range e.shardSubs[w] {
 				v := int(v32)
 				h := e.hosts[v]
-				for _, snd := range e.subs[v].out {
+				outs := e.subs[v].out
+				for si := range outs {
+					snd := &outs[si] // by pointer: Send is 6 words
 					if snd.Port < 0 || snd.Port >= len(h.ports) {
 						return fail(fmt.Errorf("congest: node %d sent on invalid port %d", v, snd.Port))
 					}
@@ -408,38 +964,25 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 						return fail(fmt.Errorf("congest: node %d sent twice on port %d in one round", v, snd.Port))
 					}
 					e.sentGen[v][snd.Port] = e.gen
-					if snd.Msg == nil {
+					var b int
+					switch {
+					case snd.Msg != nil && snd.Wire.Kind != 0:
+						return fail(fmt.Errorf("congest: node %d sent both Msg and Wire on port %d", v, snd.Port))
+					case snd.Msg != nil:
+						b = snd.Msg.Bits()
+					case snd.Wire.Kind != 0:
+						var ok bool
+						if b, ok = wireBits(snd.Wire); !ok {
+							return fail(fmt.Errorf("congest: node %d sent unregistered wire kind %d", v, snd.Wire.Kind))
+						}
+					default:
 						return fail(fmt.Errorf("congest: node %d sent nil message", v))
 					}
-					b := snd.Msg.Bits()
 					if b > o.bandwidth {
 						return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, v))
 					}
-					stats.Messages++
-					stats.Bits += int64(b)
-					if b > stats.MaxMessageBits {
-						stats.MaxMessageBits = b
-					}
-					if stats.EdgeBits != nil {
-						stats.EdgeBits[h.ports[snd.Port].Index] += int64(b)
-					}
-					dst := h.ports[snd.Port].To
-					if !e.alive[dst] {
-						stats.DroppedToTerminated++
-						continue
-					}
-					dstPort, ok := e.hosts[dst].PortOf(v)
-					if !ok {
-						return fail(fmt.Errorf("congest: no return port from %d to %d", dst, v))
-					}
-					if p == 1 {
-						e.place(dst, dstPort, v, snd.Msg)
-					} else {
-						sh := e.shardOf[dst]
-						e.buckets[sh] = append(e.buckets[sh], routed{
-							dst: int32(dst), dstPort: int32(dstPort), from: int32(v), msg: snd.Msg,
-						})
-					}
+					e.deliver(v, h.ports[snd.Port].To, int(e.returnPort[v][snd.Port]),
+						h.ports[snd.Port].Index, b, snd.Msg, snd.Wire)
 				}
 			}
 		}
@@ -455,61 +998,326 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		if p > 1 {
 			e.wg.Wait()
 		}
+		e.checkStanders()
+		e.checkRelayers()
 		for w := 0; w < p; w++ {
 			e.buckets[w] = e.buckets[w][:0]
 			e.shardSubs[w] = e.shardSubs[w][:0]
+			e.runnable += len(e.woken[w])
+			e.woken[w] = e.woken[w][:0]
 		}
 		e.gen++
+		e.wakeDue(stats.Rounds)
 	}
 	return stats, nil
 }
 
+// heartbeatsDue reports whether any standing order fires in the round
+// about to be processed.
+func (e *engine) heartbeatsDue() bool {
+	if e.emitters == 0 {
+		return false
+	}
+	parity := uint8(e.stats.Rounds % 2)
+	for _, v := range e.standers {
+		if e.stand[v].phase == parity && !e.stand[v].waiting {
+			return true
+		}
+	}
+	return false
+}
+
+// emitHeartbeats performs the standing orders of this round: accounting
+// and routing as if the parked node had sent the beat itself. Runs in the
+// serial pass, so sleeping destinations are woken deterministically.
+func (e *engine) emitHeartbeats() {
+	parity := uint8(e.stats.Rounds % 2)
+	stats := e.stats
+	for _, v32 := range e.standers {
+		v := int(v32)
+		st := &e.stand[v]
+		if st.phase != parity || st.waiting {
+			continue
+		}
+		if i := (stats.Rounds - st.beatBase) / 2; i < int(st.maskLen) && st.mask>>uint(i)&1 == 0 {
+			continue // masked-out ramp-up heartbeat: this slot stays silent
+		}
+		e.deliver(v, int(st.dst), int(st.dstPort), int(st.edge), int(st.bits), nil, st.wire)
+	}
+}
+
+// deliver accounts one validated message and routes it to its
+// destination: terminated destinations count as dropped, idling ones
+// discard unread, sleeping ones are flipped awake (their inbox follows in
+// the shard pass), and everything else lands in an inbox slot (directly
+// when serial, via the destination shard's bucket otherwise). Every
+// delivery path — node sends, standing-order heartbeats, relay forwards —
+// funnels through here so the accounting can never diverge between them.
+func (e *engine) deliver(from, dst, dstPort, edge, bits int, msg Message, wire Wire) {
+	stats := e.stats
+	stats.Messages++
+	stats.Bits += int64(bits)
+	if bits > stats.MaxMessageBits {
+		stats.MaxMessageBits = bits
+	}
+	if stats.EdgeBits != nil {
+		stats.EdgeBits[edge] += int64(bits)
+	}
+	switch e.mode[dst] {
+	case modeDone:
+		stats.DroppedToTerminated++
+		return
+	case modeIdle:
+		return
+	case modeSleep:
+		e.mode[dst] = modeRun
+		e.parkStamp[dst]++
+		e.woken[e.shardOf[dst]] = append(e.woken[e.shardOf[dst]], int32(dst))
+	}
+	if e.o.parallelism == 1 {
+		e.place(dst, dstPort, from, msg, wire)
+	} else {
+		sh := e.shardOf[dst]
+		e.buckets[sh] = append(e.buckets[sh], routed{
+			dst: int32(dst), dstPort: int32(dstPort), from: int32(from),
+			msg: msg, wire: wire,
+		})
+	}
+}
+
+// wakeRun flips a parked node back to runnable and replies with in. Only
+// for the serial passes — shard workers deliver to message-woken sleepers
+// themselves, with the mode flip and runnable bookkeeping done elsewhere.
+func (e *engine) wakeRun(v int, wokeRound int, in []Recv) {
+	e.mode[v] = modeRun
+	e.parkStamp[v]++
+	e.runnable++
+	e.hosts[v].wokeRound = wokeRound
+	e.hosts[v].reply <- in
+}
+
+// emitRelays performs the relay orders' forwards due this round: each
+// pending item picked up last round goes out to every forwarding target,
+// accounted as if the parked node had sent the copies itself.
+func (e *engine) emitRelays() {
+	if e.relPend == 0 {
+		return
+	}
+	for _, v32 := range e.relayers {
+		v := int(v32)
+		rl := &e.relays[v]
+		if !rl.hasPend {
+			continue
+		}
+		rl.hasPend = false
+		e.relPend--
+		for i := range rl.dsts {
+			d := &rl.dsts[i]
+			e.deliver(v, int(d.dst), int(d.dstPort), int(d.edge), int(rl.pendBits), rl.pendMsg, rl.pendWire)
+		}
+		rl.pendMsg = nil
+	}
+}
+
+// checkRelayers advances every relaying node after a round: a clean
+// arrival (one message, on the source port, not the end kind) is
+// accumulated and scheduled for forwarding next round; the end kind or any
+// other inbox wakes the node with the accumulated stream plus the waking
+// round's inbox.
+func (e *engine) checkRelayers() {
+	gen := e.gen
+	for i := 0; i < len(e.relayers); {
+		v := int(e.relayers[i])
+		rl := &e.relays[v]
+		var touched []int32
+		if e.tGen[v] == gen {
+			touched = e.touched[v]
+		}
+		if len(touched) == 0 {
+			i++
+			continue
+		}
+		if len(touched) == 1 && touched[0] == rl.srcPort {
+			rc := e.slots[v][rl.srcPort]
+			if rc.Wire.Kind != rl.endKind {
+				rl.buf = append(rl.buf, rc)
+				if len(rl.dsts) > 0 {
+					var b int
+					if rc.Msg != nil {
+						b = rc.Msg.Bits()
+					} else {
+						b, _ = wireBits(rc.Wire)
+					}
+					rl.pendBits = int32(b)
+					rl.pendMsg, rl.pendWire = rc.Msg, rc.Wire
+					rl.hasPend = true
+					e.relPend++
+				}
+				i++
+				continue
+			}
+		}
+		// Deviation or end of stream: hand over the accumulated messages
+		// plus this round's inbox, ownership of the buffer included.
+		final := e.inbox(v)
+		out := append(rl.buf, final...)
+		rl.buf = nil
+		if rl.hasPend {
+			// Unreachable (a pend set last round was emitted before this
+			// round's check), kept as defensive bookkeeping.
+			rl.hasPend = false
+			e.relPend--
+			rl.pendMsg = nil
+		}
+		last := len(e.relayers) - 1
+		e.relayers[i] = e.relayers[last]
+		e.relayers = e.relayers[:last]
+		e.hosts[v].relayLastN = len(final)
+		e.wakeRun(v, e.stats.Rounds, out)
+	}
+}
+
+// checkStanders wakes every standing node whose inbox deviated from its
+// heartbeat expectation this round; clean heartbeat echoes are consumed
+// silently (the generation bump retires them). Runs after the shard pass,
+// when all placements of the round are visible.
+func (e *engine) checkStanders() {
+	parity := uint8((e.stats.Rounds - 1) % 2)
+	gen := e.gen
+	for i := 0; i < len(e.standers); {
+		v := int(e.standers[i])
+		st := &e.stand[v]
+		var touched []int32
+		if e.tGen[v] == gen {
+			touched = e.touched[v]
+		}
+		ok := false
+		if st.phase == parity {
+			if st.waiting {
+				ok = len(touched) < int(st.expectN)
+			} else {
+				ok = len(touched) == int(st.expectN)
+			}
+			if ok {
+				for _, q := range touched {
+					if e.slots[v][q].Wire.Kind != st.wire.Kind {
+						ok = false
+						break
+					}
+				}
+			}
+		} else {
+			ok = len(touched) == 0
+		}
+		if ok {
+			i++
+			continue
+		}
+		last := len(e.standers) - 1
+		e.standers[i] = e.standers[last]
+		e.standers = e.standers[:last]
+		if !st.waiting {
+			e.emitters--
+		}
+		e.wakeRun(v, e.stats.Rounds, e.inbox(v))
+	}
+}
+
+// nextWake peeks the earliest still-valid deadline, discarding entries for
+// nodes that were woken early or finished.
+func (e *engine) nextWake() (int, bool) {
+	for len(e.wake) > 0 {
+		top := e.wake[0]
+		if !e.wakeValid(top) {
+			e.wake.pop()
+			continue
+		}
+		return top.round, true
+	}
+	return 0, false
+}
+
+// wakeDue wakes every parked node whose deadline has arrived.
+func (e *engine) wakeDue(round int) {
+	for len(e.wake) > 0 {
+		top := e.wake[0]
+		if !e.wakeValid(top) {
+			e.wake.pop()
+			continue
+		}
+		if top.round > round {
+			return
+		}
+		e.wake.pop()
+		v := int(top.node)
+		e.wakeRun(v, e.wakeAt[v], nil)
+	}
+}
+
+func (e *engine) wakeValid(w wakeEntry) bool {
+	m := e.mode[w.node]
+	return (m == modeIdle || m == modeSleep) && e.parkStamp[w.node] == w.stamp
+}
+
 // place stores one message in its destination's inbox slot.
-func (e *engine) place(dst, dstPort, from int, msg Message) {
+func (e *engine) place(dst, dstPort, from int, msg Message, wire Wire) {
 	if e.tGen[dst] != e.gen {
 		e.tGen[dst] = e.gen
 		e.touched[dst] = e.touched[dst][:0]
 	}
-	e.slots[dst][dstPort] = Recv{Port: dstPort, From: from, Msg: msg}
+	e.slots[dst][dstPort] = Recv{Port: dstPort, From: from, Msg: msg, Wire: wire}
 	e.slotGen[dst][dstPort] = e.gen
 	e.touched[dst] = append(e.touched[dst], int32(dstPort))
 }
 
-// runShard places the shard's routed messages into destination inbox slots
-// and delivers each exchanging node's port-ordered inbox. Shards own
-// disjoint destination ranges, so workers touch disjoint state.
-func (e *engine) runShard(w int) {
+// inbox assembles node v's port-ordered deliveries for this round into its
+// reusable buffer.
+func (e *engine) inbox(v int) []Recv {
 	gen := e.gen
-	for _, rt := range e.buckets[w] {
-		e.place(int(rt.dst), int(rt.dstPort), int(rt.from), rt.msg)
-	}
-	for _, v32 := range e.shardSubs[w] {
-		v := int(v32)
-		buf := e.outBuf[v][:0]
-		if e.tGen[v] == gen {
-			ports := e.touched[v]
-			if deg := len(e.slots[v]); len(ports)*4 >= deg {
-				// Dense round: scan the slots in port order.
-				sg := e.slotGen[v]
-				for q := 0; q < deg; q++ {
-					if sg[q] == gen {
-						buf = append(buf, e.slots[v][q])
-					}
-				}
-			} else {
-				// Sparse round: order the few touched ports in place.
-				for i := 1; i < len(ports); i++ {
-					for j := i; j > 0 && ports[j] < ports[j-1]; j-- {
-						ports[j], ports[j-1] = ports[j-1], ports[j]
-					}
-				}
-				for _, q := range ports {
+	buf := e.outBuf[v][:0]
+	if e.tGen[v] == gen {
+		ports := e.touched[v]
+		if deg := len(e.slots[v]); len(ports)*4 >= deg {
+			// Dense round: scan the slots in port order.
+			sg := e.slotGen[v]
+			for q := 0; q < deg; q++ {
+				if sg[q] == gen {
 					buf = append(buf, e.slots[v][q])
 				}
 			}
+		} else {
+			// Sparse round: order the few touched ports in place.
+			for i := 1; i < len(ports); i++ {
+				for j := i; j > 0 && ports[j] < ports[j-1]; j-- {
+					ports[j], ports[j-1] = ports[j-1], ports[j]
+				}
+			}
+			for _, q := range ports {
+				buf = append(buf, e.slots[v][q])
+			}
 		}
-		e.outBuf[v] = buf
-		e.hosts[v].reply <- buf
+	}
+	e.outBuf[v] = buf
+	return buf
+}
+
+// runShard places the shard's routed messages into destination inbox slots
+// and delivers each exchanging node's port-ordered inbox, plus the inboxes
+// of sleepers its mail woke up. Shards own disjoint destination ranges, so
+// workers touch disjoint state.
+func (e *engine) runShard(w int) {
+	for _, rt := range e.buckets[w] {
+		e.place(int(rt.dst), int(rt.dstPort), int(rt.from), rt.msg, rt.wire)
+	}
+	for _, v32 := range e.shardSubs[w] {
+		v := int(v32)
+		e.hosts[v].reply <- e.inbox(v)
+	}
+	cur := e.stats.Rounds
+	for _, v32 := range e.woken[w] {
+		v := int(v32)
+		e.hosts[v].wokeRound = cur
+		e.hosts[v].reply <- e.inbox(v)
 	}
 }
 
@@ -519,10 +1327,10 @@ func runNode(h *Host, program Program, subCh chan<- submission) {
 			if _, isAbort := r.(abortSentinel); isAbort {
 				return // engine already failing; exit quietly
 			}
-			subCh <- submission{node: h.id, err: fmt.Errorf("congest: node %d panicked: %v", h.id, r)}
+			subCh <- submission{node: h.id, kind: subErr, err: fmt.Errorf("congest: node %d panicked: %v", h.id, r)}
 			return
 		}
-		subCh <- submission{node: h.id, done: true}
+		subCh <- submission{node: h.id, kind: subDone}
 	}()
 	program(h)
 }

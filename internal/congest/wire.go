@@ -1,0 +1,96 @@
+package congest
+
+import "fmt"
+
+// Wire is the zero-boxing value message of the hot path. A Send or Recv
+// carries it inline (field Wire, active when Kind != 0), so the frequent
+// fixed-shape protocol messages — control markers, counters, distance
+// offers — cross the engine without the heap allocation that boxing a
+// struct into the Message interface would cost.
+//
+// The three payload slots are deliberately asymmetric: A and B hold node
+// ids, ports, labels or denominator exponents (anything that fits 32
+// bits), C holds the one wide value (a weight, a distance numerator, a
+// packed pair of labels). Protocols needing more than that keep using the
+// Message interface.
+//
+// Every Kind must be registered before use (RegisterWireKind /
+// RegisterWireKindFunc); its entry in the width table defines Bits().
+// Kind 0 is reserved to mean "no wire message". To keep registrations
+// collision-free across packages, kinds are partitioned by convention:
+//
+//	 1-15   internal/dist (primitive control plane)
+//	16-23   internal/detforest
+//	24-31   internal/randforest
+//	32-63   reserved for future protocol packages
+//	100+    tests
+type Wire struct {
+	Kind uint16
+	A, B uint32
+	C    int64
+}
+
+// maxWireKinds bounds the kind space; the width table is a flat array so
+// the per-message lookup is one indexed load.
+const maxWireKinds = 256
+
+var (
+	wireFixed [maxWireKinds]int32
+	wireFn    [maxWireKinds]func(Wire) int
+)
+
+// RegisterWireKind declares a wire kind with a fixed encoded width. It
+// must be called before any Run that sends the kind (package init is the
+// natural place); duplicate or invalid registrations panic.
+func RegisterWireKind(kind uint16, bits int) {
+	checkWireReg(kind)
+	if bits <= 0 {
+		panic(fmt.Sprintf("congest: wire kind %d registered with width %d", kind, bits))
+	}
+	wireFixed[kind] = int32(bits)
+}
+
+// RegisterWireKindFunc declares a wire kind whose encoded width depends on
+// the payload (e.g. a rational whose numerator is entropy-coded). fn must
+// be pure: equal Wire values must yield equal widths, or Stats lose their
+// run-to-run determinism.
+func RegisterWireKindFunc(kind uint16, fn func(Wire) int) {
+	checkWireReg(kind)
+	if fn == nil {
+		panic(fmt.Sprintf("congest: wire kind %d registered with nil width func", kind))
+	}
+	wireFn[kind] = fn
+}
+
+func checkWireReg(kind uint16) {
+	if kind == 0 || kind >= maxWireKinds {
+		panic(fmt.Sprintf("congest: wire kind %d out of range [1,%d)", kind, maxWireKinds))
+	}
+	if wireFixed[kind] != 0 || wireFn[kind] != nil {
+		panic(fmt.Sprintf("congest: wire kind %d registered twice", kind))
+	}
+}
+
+// Bits implements Message, so a Wire can also travel boxed where
+// convenient (tests, cold paths). It panics on unregistered kinds.
+func (w Wire) Bits() int {
+	if b, ok := wireBits(w); ok {
+		return b
+	}
+	panic(fmt.Sprintf("congest: wire kind %d not registered", w.Kind))
+}
+
+// wireBits is the engine-side lookup; the engine turns a false return into
+// a run error instead of panicking a worker.
+func wireBits(w Wire) (int, bool) {
+	if w.Kind == 0 || w.Kind >= maxWireKinds {
+		return 0, false
+	}
+	if b := wireFixed[w.Kind]; b > 0 {
+		return int(b), true
+	}
+	if fn := wireFn[w.Kind]; fn != nil {
+		return fn(w), true
+	}
+	return 0, false
+}

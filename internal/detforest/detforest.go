@@ -27,7 +27,7 @@ package detforest
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"steinerforest/internal/congest"
@@ -151,10 +151,12 @@ func (m candItem) Less(o dist.Item) bool {
 	return m.ev < x.ev
 }
 
-// tokenMsg walks up region trees during final edge marking.
-type tokenMsg struct{}
+// wireToken walks up region trees during final edge marking (2-bit
+// control marker, carried as an inline wire value; kind range 16-23 is
+// reserved for this package).
+const wireToken uint16 = 16
 
-func (tokenMsg) Bits() int { return 2 }
+func init() { congest.RegisterWireKind(wireToken, 2) }
 
 type nodeState struct {
 	h     *congest.Host
@@ -413,10 +415,11 @@ func (ns *nodeState) markEdges(out *sharedOutput) {
 			}
 		}
 	}
+	var sendBuf [1]congest.Send
 	step := func(r int, in []congest.Recv) ([]congest.Send, bool) {
 		got := false
 		for _, rc := range in {
-			if _, ok := rc.Msg.(tokenMsg); ok {
+			if rc.Wire.Kind == wireToken {
 				got = true
 			}
 		}
@@ -427,7 +430,8 @@ func (ns *nodeState) markEdges(out *sharedOutput) {
 		if tokens > 0 && ns.parentPort >= 0 {
 			tokens = 0
 			out.mark(h.EdgeIndex(ns.parentPort))
-			return []congest.Send{{Port: ns.parentPort, Msg: tokenMsg{}}}, true
+			sendBuf[0] = congest.Send{Port: ns.parentPort, Wire: congest.Wire{Kind: wireToken}}
+			return sendBuf[:], true
 		}
 		tokens = 0
 		return nil, got
@@ -437,6 +441,10 @@ func (ns *nodeState) markEdges(out *sharedOutput) {
 
 // minimalSubforest computes Fmin: the subset of accepted merges whose
 // removal would split an input component within its candidate-forest tree.
+// Every node replays this identical local computation, so it is kept flat:
+// labels are densified to small ids once and the post-order label
+// multiplicities live in one [terminal][label] matrix instead of per-node
+// maps (t and the label count are both bounded by the terminal count).
 func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 	n := len(terms)
 	adj := make([][]int, n) // terminal index -> merge indices
@@ -444,10 +452,21 @@ func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 		adj[c.v] = append(adj[c.v], mi)
 		adj[c.w] = append(adj[c.w], mi)
 	}
-	totals := make(map[int]int)
-	for _, ti := range terms {
-		totals[ti.label]++
+	lblIdx := make(map[int]int, n) // label -> dense id
+	lbl := make([]int, n)          // terminal index -> dense label id
+	var totals []int32             // dense label id -> multiplicity
+	for i, ti := range terms {
+		id, ok := lblIdx[ti.label]
+		if !ok {
+			id = len(totals)
+			lblIdx[ti.label] = id
+			totals = append(totals, 0)
+		}
+		lbl[i] = id
+		totals[id]++
 	}
+	nl := len(totals)
+	counts := make([]int32, n*nl) // row v: subtree label multiplicities
 	needed := make([]bool, len(merges))
 	visited := make([]bool, n)
 	for root := 0; root < n; root++ {
@@ -458,12 +477,8 @@ func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 		type frame struct {
 			node, parentMerge, childIdx int
 		}
-		counts := make(map[int]map[int]int)
-		newCount := func(v int) map[int]int {
-			return map[int]int{terms[v].label: 1}
-		}
 		stack := []frame{{node: root, parentMerge: -1}}
-		counts[root] = newCount(root)
+		counts[root*nl+lbl[root]]++
 		visited[root] = true
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
@@ -482,7 +497,7 @@ func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 					continue
 				}
 				visited[next] = true
-				counts[next] = newCount(next)
+				counts[next*nl+lbl[next]]++
 				stack = append(stack, frame{node: next, parentMerge: mi})
 				continue
 			}
@@ -490,17 +505,18 @@ func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 			if f.parentMerge == -1 {
 				continue
 			}
-			for l, c := range counts[f.node] {
+			row := counts[f.node*nl : (f.node+1)*nl]
+			for l, c := range row {
 				if c > 0 && c < totals[l] {
 					needed[f.parentMerge] = true
 					break
 				}
 			}
 			parent := stack[len(stack)-1].node
-			for l, c := range counts[f.node] {
-				counts[parent][l] += c
+			prow := counts[parent*nl : (parent+1)*nl]
+			for l, c := range row {
+				prow[l] += c
 			}
-			delete(counts, f.node)
 		}
 	}
 	var fmin []candItem
@@ -509,6 +525,15 @@ func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 			fmin = append(fmin, c)
 		}
 	}
-	sort.Slice(fmin, func(i, j int) bool { return fmin[i].Less(fmin[j]) })
+	slices.SortFunc(fmin, func(a, b candItem) int {
+		switch {
+		case a.Less(b):
+			return -1
+		case b.Less(a):
+			return 1
+		default:
+			return 0
+		}
+	})
 	return fmin
 }

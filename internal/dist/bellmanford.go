@@ -35,6 +35,11 @@ type BFResult struct {
 // and its parent port on the winning path. Ties are broken by smaller
 // (distance, source id, predecessor id), so the result is deterministic.
 // All nodes enter and leave in the same round.
+//
+// Offers travel as wire values (source id plus the dyadic distance packed
+// into the denominator-exponent/numerator slots) and the flush reuses one
+// send buffer, so the relaxation loop does not allocate; settled nodes
+// park between control slots.
 func BellmanFord(h *congest.Host, t *Tree, cfg BFConfig) BFResult {
 	deg := h.Degree()
 	ew := cfg.EdgeWeight
@@ -52,30 +57,31 @@ func BellmanFord(h *congest.Host, t *Tree, cfg BFConfig) BFResult {
 		res = BFResult{Reached: true, Source: cfg.SourceID, ParentPort: -1}
 		pending = true
 	}
+	outBuf := make([]congest.Send, 0, deg)
 
 	step := func(_ int, in []congest.Recv) ([]congest.Send, bool) {
 		for _, rc := range in {
-			m, ok := rc.Msg.(bfMsg)
-			if !ok || !usable[rc.Port] || cfg.IsSource {
+			if rc.Wire.Kind != wireBF || !usable[rc.Port] || cfg.IsSource {
 				continue
 			}
-			cand := m.dist.Add(ew(rc.Port))
+			src := int(int32(rc.Wire.A))
+			cand := decodeQ(rc.Wire.B, rc.Wire.C).Add(ew(rc.Port))
 			from := h.Neighbor(rc.Port)
 			better := !res.Reached
 			if !better {
 				switch c := cand.Cmp(res.Dist); {
 				case c < 0:
 					better = true
-				case c == 0 && m.src < res.Source:
+				case c == 0 && src < res.Source:
 					better = true
-				case c == 0 && m.src == res.Source && from < bestFrom:
+				case c == 0 && src == res.Source && from < bestFrom:
 					better = true
 				}
 			}
 			if better {
 				res.Reached = true
 				res.Dist = cand
-				res.Source = m.src
+				res.Source = src
 				res.ParentPort = rc.Port
 				bestFrom = from
 				pending = true
@@ -85,13 +91,15 @@ func BellmanFord(h *congest.Host, t *Tree, cfg BFConfig) BFResult {
 			return nil, false
 		}
 		pending = false
-		var out []congest.Send
+		b, c := encodeQ(res.Dist)
+		offer := congest.Wire{Kind: wireBF, A: uint32(int32(res.Source)), B: b, C: c}
+		outBuf = outBuf[:0]
 		for p := 0; p < deg; p++ {
 			if usable[p] {
-				out = append(out, congest.Send{Port: p, Msg: bfMsg{src: res.Source, dist: res.Dist}})
+				outBuf = append(outBuf, congest.Send{Port: p, Wire: offer})
 			}
 		}
-		return out, false
+		return outBuf, false
 	}
 	RunQuiet(h, t, step)
 	return res

@@ -1,7 +1,7 @@
 package dist
 
 import (
-	"sort"
+	"slices"
 
 	"steinerforest/internal/congest"
 )
@@ -20,9 +20,21 @@ import (
 // including) the first item for which it returns true — the "phase-ending
 // merge" device of Section 4. Both may be nil.
 //
-// Rounds: O(height + items surviving the interior filters).
+// Rounds: O(height + items surviving the interior filters). Nodes sleep
+// whenever the pipeline gives them nothing to say: while blocked on a
+// lagging child stream, after their subtree's stream is exhausted, and
+// (at the root) until the upcast completes.
 func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Filter, stopAfter func(Item) bool) []Item {
-	sort.SliceStable(local, func(i, j int) bool { return local[i].Less(local[j]) })
+	slices.SortStableFunc(local, func(a, b Item) int {
+		switch {
+		case a.Less(b):
+			return -1
+		case b.Less(a):
+			return 1
+		default:
+			return 0
+		}
+	})
 	var filter Filter
 	if newFilter != nil {
 		filter = newFilter()
@@ -101,91 +113,51 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 		return true
 	}
 
-	var accepted []Item // root: the final stream
-	var result []Item   // non-root: received from the broadcast
-	finalized := false  // root: stream complete, broadcasting
-	downIdx := 0
-	var fwd []Item // non-root: forward queue for the broadcast
+	var result []Item // the broadcast stream (root: accepted)
+	var fwd []Item    // interior: forward queue for the broadcast
 	fwdEnd := false
 	sawDown := false
-	upDoneSent := false
-	exitAt := -1
-
-	for r := 0; ; r++ {
-		var out []congest.Send
-		if root && finalized {
-			switch {
-			case downIdx < len(accepted):
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: downItem{it: accepted[downIdx]}})
+	exitRound := -1
+	// process folds one round's inbox into the upcast and downcast state.
+	process := func(in []congest.Recv) {
+		for _, rc := range in {
+			switch rc.Wire.Kind {
+			case wireUpDone:
+				done[childOf[rc.Port]] = true
+				continue
+			case wireDownEnd:
+				sawDown = true
+				if nc > 0 {
+					fwdEnd = true
 				}
-				downIdx++
-			case downIdx == len(accepted):
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: downEnd{}})
-				}
-				downIdx++
-				exitAt = r + t.Height - 1
+				exitRound = h.Round() + t.Height - t.Depth
+				continue
 			}
-		}
-		if !root {
-			if len(fwd) > 0 {
-				it := fwd[0]
-				fwd = fwd[1:]
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
-				}
-			} else if fwdEnd {
-				fwdEnd = false
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: downEnd{}})
-				}
-			}
-			if !sawDown && !upDoneSent {
-				sent := false
-				for canPop() {
-					it := popMin()
-					if filter == nil || filter(it) {
-						out = append(out, congest.Send{Port: t.ParentPort, Msg: upItem{it: it}})
-						sent = true
-						break
-					}
-				}
-				if !sent && allEnded() {
-					out = append(out, congest.Send{Port: t.ParentPort, Msg: upDone{}})
-					upDoneSent = true
-				}
-			}
-		}
-
-		for _, rc := range h.Exchange(out) {
 			switch m := rc.Msg.(type) {
 			case upItem:
 				queues[childOf[rc.Port]] = append(queues[childOf[rc.Port]], m.it)
-			case upDone:
-				done[childOf[rc.Port]] = true
 			case downItem:
 				sawDown = true
 				result = append(result, m.it)
 				if nc > 0 {
 					fwd = append(fwd, m.it)
 				}
-			case downEnd:
-				sawDown = true
-				if nc > 0 {
-					fwdEnd = true
-				}
-				exitAt = r + t.Height - t.Depth
 			}
 		}
+	}
 
-		if root && !finalized {
+	if root {
+		// Collect until the stream is decided, asleep between deliveries
+		// (consumption is local, so a round without mail changes nothing).
+		finalized := false
+		for !finalized {
+			process(h.Sleep())
 			for canPop() {
 				it := popMin()
 				if filter != nil && !filter(it) {
 					continue
 				}
-				accepted = append(accepted, it)
+				result = append(result, it)
 				if stopAfter != nil && stopAfter(it) {
 					finalized = true
 					break
@@ -195,130 +167,240 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 				finalized = true
 			}
 		}
-		if exitAt >= 0 && r >= exitAt {
-			if root {
-				return accepted
+		// Stream the accepted items down, one per round, then the end
+		// marker; the wave reaches the deepest node Height-1 rounds later.
+		// Stragglers may still be upcasting (a stopAfter cut): their items
+		// arrive during the stream and are ignored.
+		for _, it := range result {
+			out := make([]congest.Send, 0, nc)
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
 			}
-			return result
+			h.Exchange(out)
+		}
+		end := make([]congest.Send, 0, nc)
+		for _, p := range t.ChildPorts {
+			end = append(end, congest.Send{Port: p, Wire: congest.Wire{Kind: wireDownEnd}})
+		}
+		h.Exchange(end)
+		h.Idle(t.Height - 1)
+		return result
+	}
+
+	// Non-root upcast: one accepted item (or the end marker) per round, as
+	// soon as the subtree's next minimum is determined; sleep while blocked
+	// on a lagging child. The phase ends when our stream is exhausted or
+	// the broadcast already started (the root finalized early on a
+	// stopAfter cut).
+	upDoneSent := false
+	for !upDoneSent && !sawDown {
+		var out []congest.Send
+		for canPop() {
+			it := popMin()
+			if filter == nil || filter(it) {
+				out = []congest.Send{{Port: t.ParentPort, Msg: upItem{it: it}}}
+				break
+			}
+		}
+		if out == nil && allEnded() {
+			out = []congest.Send{{Port: t.ParentPort, Wire: congest.Wire{Kind: wireUpDone}}}
+			upDoneSent = true
+		}
+		if out != nil {
+			process(h.Exchange(out))
+		} else {
+			process(h.Sleep())
 		}
 	}
+	// Wait for the broadcast to reach us and relay it, one forwarded item
+	// per round toward the children, until the end marker has passed. With
+	// nothing queued the whole pipeline stage runs inside the engine: a
+	// Relay order forwards the parent's stream and wakes us only at the
+	// end marker or a straggler's upcast item (possible after a stopAfter
+	// cut), whose round we handle by hand before parking again.
+	for exitRound < 0 {
+		if len(fwd) > 0 {
+			it := fwd[0]
+			fwd = fwd[1:]
+			out := make([]congest.Send, 0, nc)
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
+			}
+			process(h.Exchange(out))
+		} else {
+			relayed, last := h.Relay(t.ParentPort, t.ChildPorts, wireDownEnd)
+			for _, rc := range relayed {
+				// Already forwarded by the engine: record, don't queue.
+				if m, ok := rc.Msg.(downItem); ok {
+					result = append(result, m.it)
+				}
+			}
+			process(last)
+		}
+	}
+	for len(fwd) > 0 || fwdEnd {
+		var out []congest.Send
+		if len(fwd) > 0 {
+			it := fwd[0]
+			fwd = fwd[1:]
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
+			}
+		} else {
+			fwdEnd = false
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireDownEnd}})
+			}
+		}
+		h.Exchange(out)
+	}
+	h.Idle(exitRound - h.Round())
+	return result
 }
 
 // BroadcastList delivers the root's message list to every node: the root
 // streams its items down the BFS tree one per round followed by an end
 // marker, interior nodes forward with one round of latency, and all nodes
 // exit in the same round. Non-root callers pass nil (their argument is
-// ignored); every node returns the root's list in order.
+// ignored); every node returns the root's list in order. Nodes sleep until
+// the stream reaches them.
 func BroadcastList(h *congest.Host, t *Tree, items []congest.Message) []congest.Message {
 	if h.N() <= 1 {
 		return items
 	}
-	root := t.IsRoot()
 	nc := len(t.ChildPorts)
-	var result []congest.Message
-	if root {
-		result = items
+	if t.IsRoot() {
+		for _, m := range items {
+			out := make([]congest.Send, 0, nc)
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
+			}
+			h.Exchange(out)
+		}
+		end := make([]congest.Send, 0, nc)
+		for _, p := range t.ChildPorts {
+			end = append(end, congest.Send{Port: p, Wire: congest.Wire{Kind: wireBcastEnd}})
+		}
+		h.Exchange(end)
+		h.Idle(t.Height - 1)
+		return items
 	}
-	downIdx := 0
+
+	var result []congest.Message
 	var fwd []congest.Message
 	fwdEnd := false
-	exitAt := -1
-
-	for r := 0; ; r++ {
-		var out []congest.Send
-		if root {
-			switch {
-			case downIdx < len(items):
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: items[downIdx]}})
+	exitRound := -1
+	process := func(in []congest.Recv) {
+		for _, rc := range in {
+			if rc.Wire.Kind == wireBcastEnd {
+				if nc > 0 {
+					fwdEnd = true
 				}
-				downIdx++
-			case downIdx == len(items):
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: bcastEnd{}})
-				}
-				downIdx++
-				exitAt = r + t.Height - 1
+				exitRound = h.Round() + t.Height - t.Depth
+				continue
 			}
-		} else {
-			if len(fwd) > 0 {
-				m := fwd[0]
-				fwd = fwd[1:]
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
-				}
-			} else if fwdEnd {
-				fwdEnd = false
-				for _, p := range t.ChildPorts {
-					out = append(out, congest.Send{Port: p, Msg: bcastEnd{}})
-				}
-			}
-		}
-		for _, rc := range h.Exchange(out) {
-			switch m := rc.Msg.(type) {
-			case bcastMsg:
+			if m, ok := rc.Msg.(bcastMsg); ok {
 				result = append(result, m.m)
 				if nc > 0 {
 					fwd = append(fwd, m.m)
 				}
-			case bcastEnd:
-				if nc > 0 {
-					fwdEnd = true
-				}
-				exitAt = r + t.Height - t.Depth
 			}
 		}
-		if exitAt >= 0 && r >= exitAt {
-			return result
+	}
+	for exitRound < 0 {
+		if len(fwd) > 0 {
+			m := fwd[0]
+			fwd = fwd[1:]
+			out := make([]congest.Send, 0, nc)
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
+			}
+			process(h.Exchange(out))
+		} else {
+			// The engine relays the stream; only the end marker (or a
+			// deviation, which cannot occur in this primitive) wakes us.
+			relayed, last := h.Relay(t.ParentPort, t.ChildPorts, wireBcastEnd)
+			for _, rc := range relayed {
+				if m, ok := rc.Msg.(bcastMsg); ok {
+					result = append(result, m.m)
+				}
+			}
+			process(last)
 		}
 	}
+	for len(fwd) > 0 || fwdEnd {
+		var out []congest.Send
+		if len(fwd) > 0 {
+			m := fwd[0]
+			fwd = fwd[1:]
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
+			}
+		} else {
+			fwdEnd = false
+			for _, p := range t.ChildPorts {
+				out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireBcastEnd}})
+			}
+		}
+		h.Exchange(out)
+	}
+	h.Idle(exitRound - h.Round())
+	return result
 }
 
 // Max computes the global maximum of the nodes' values by a convergecast up
 // the BFS tree and a synchronized broadcast of the result; every node
-// returns the maximum in the same round.
+// returns the maximum in the same round. Interior nodes sleep while their
+// subtrees aggregate; everyone idles out to the common exit round.
 func Max(h *congest.Host, t *Tree, v int64) int64 {
 	if h.N() <= 1 {
 		return v
 	}
-	root := t.IsRoot()
 	best := v
-	pending := len(t.ChildPorts)
-	sendUpAt, sendDownAt, forwardAt, exitAt := -1, -1, -1, -1
-	for r := 0; ; r++ {
-		var out []congest.Send
-		if r == sendUpAt {
-			out = append(out, congest.Send{Port: t.ParentPort, Msg: maxUpMsg{v: best}})
-		}
-		if r == sendDownAt || r == forwardAt {
-			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Msg: maxDownMsg{v: best}})
-			}
-		}
-		for _, rc := range h.Exchange(out) {
-			switch m := rc.Msg.(type) {
-			case maxUpMsg:
-				if m.v > best {
-					best = m.v
+	nc := len(t.ChildPorts)
+	if nc == 0 {
+		// Leaves detect their (empty) subtree in the first round and send
+		// in the second, matching the generic detect-then-send cadence.
+		h.Exchange(nil)
+	} else {
+		for pending := nc; pending > 0; {
+			for _, rc := range h.Sleep() {
+				if rc.Wire.Kind == wireMaxUp {
+					if rc.Wire.C > best {
+						best = rc.Wire.C
+					}
+					pending--
 				}
-				pending--
-			case maxDownMsg:
-				best = m.v
-				exitAt = r + t.Height - t.Depth
-				forwardAt = r + 1
 			}
-		}
-		if pending == 0 && sendUpAt < 0 && sendDownAt < 0 && exitAt < 0 {
-			if root {
-				sendDownAt = r + 1
-				exitAt = r + t.Height
-			} else {
-				sendUpAt = r + 1
-				pending = -1
-			}
-		}
-		if exitAt >= 0 && r >= exitAt {
-			return best
 		}
 	}
+	if t.IsRoot() {
+		out := make([]congest.Send, 0, nc)
+		for _, p := range t.ChildPorts {
+			out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireMaxDown, C: best}})
+		}
+		h.Exchange(out)
+		h.Idle(t.Height - 1)
+		return best
+	}
+	h.Exchange([]congest.Send{{Port: t.ParentPort, Wire: congest.Wire{Kind: wireMaxUp, C: best}}})
+	got := false
+	for !got {
+		for _, rc := range h.Sleep() {
+			if rc.Wire.Kind == wireMaxDown {
+				best = rc.Wire.C
+				got = true
+			}
+		}
+	}
+	exitRound := h.Round() + t.Height - t.Depth
+	if nc > 0 {
+		out := make([]congest.Send, 0, nc)
+		for _, p := range t.ChildPorts {
+			out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireMaxDown, C: best}})
+		}
+		h.Exchange(out)
+	}
+	h.Idle(exitRound - h.Round())
+	return best
 }

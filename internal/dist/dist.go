@@ -15,12 +15,23 @@
 // R + height - d, the round by which the message has reached the deepest
 // node.
 //
+// The primitives are written against the engine's event-driven fast paths:
+// a node whose role in the current phase is over (an unjoined BFS node, a
+// subtree that finished its upcast, a settled Bellman-Ford region between
+// control slots) parks with Host.Sleep/SleepUntil/Idle instead of spinning
+// through empty exchanges. The message schedule is exactly the one the
+// plain Exchange loops would produce — the parked rounds are rounds the
+// node would have spent exchanging nothing — so round counts, message
+// counts and bit counts are unchanged by the fast paths.
+//
 // All primitives assume a connected graph (as the paper does); on a
 // disconnected graph the unreachable side never learns the tree and the
 // simulation hits its round cap.
 package dist
 
 import (
+	"math/bits"
+
 	"steinerforest/internal/congest"
 	"steinerforest/internal/rational"
 )
@@ -44,45 +55,75 @@ type Item interface {
 // count caps have this property).
 type Filter func(Item) bool
 
-// Control and envelope messages of the primitives. They only need to be
-// distinguishable from user payload types by a type switch; headers are
-// accounted at 2 bits.
+// Control messages of the primitives travel as congest.Wire values (kinds
+// 1-15, see the congest.Wire kind partition): they are the per-round hot
+// path, and the wire form keeps them off the heap. Item and broadcast
+// envelopes stay boxed — their payloads are variable-width. Control
+// headers are accounted at 2 bits, exactly as the boxed forms were.
+const (
+	wireUpDone   uint16 = 1  // upcast stream exhausted
+	wireDownEnd  uint16 = 2  // downcast stream exhausted
+	wireBcastEnd uint16 = 3  // broadcast stream exhausted
+	wireMaxUp    uint16 = 4  // C = partial maximum
+	wireMaxDown  uint16 = 5  // C = global maximum
+	wireQuiet    uint16 = 6  // RunQuiet convergecast bit
+	wireExit     uint16 = 7  // RunQuiet synchronized exit wave
+	wireBF       uint16 = 8  // A = source id, (B, C) = encoded distance
+	wireExplore  uint16 = 9  // BFS flood
+	wireAccept   uint16 = 10 // BFS child registration
+	wireDoneUp   uint16 = 11 // BFS completion convergecast; C = max depth
+	wireFinish   uint16 = 12 // BFS finish broadcast; C = tree height
+)
+
+func init() {
+	congest.RegisterWireKind(wireUpDone, 2)
+	congest.RegisterWireKind(wireDownEnd, 2)
+	congest.RegisterWireKind(wireBcastEnd, 2)
+	congest.RegisterWireKind(wireMaxUp, 2+64)
+	congest.RegisterWireKind(wireMaxDown, 2+64)
+	congest.RegisterWireKind(wireQuiet, 2)
+	congest.RegisterWireKind(wireExit, 2)
+	congest.RegisterWireKindFunc(wireBF, bfWireBits)
+	congest.RegisterWireKind(wireExplore, 2)
+	congest.RegisterWireKind(wireAccept, 2)
+	congest.RegisterWireKind(wireDoneUp, 2+24)
+	congest.RegisterWireKind(wireFinish, 2+24)
+}
+
+// encodeQ packs an exact dyadic rational into a wire: B is the bit length
+// of the (power-of-two) denominator, C the numerator.
+func encodeQ(q rational.Q) (b uint32, c int64) {
+	return uint32(bits.Len64(uint64(q.Den()))), q.Num()
+}
+
+// decodeQ is the inverse of encodeQ.
+func decodeQ(b uint32, c int64) rational.Q {
+	return rational.New(c, int64(1)<<(b-1))
+}
+
+// bfWireBits accounts an encoded Bellman-Ford offer exactly as the boxed
+// form did: 2 header + 24 source id + Q.Bits() of the distance, the latter
+// recomputed from the encoding (numerator length + sign + denominator
+// length).
+func bfWireBits(w congest.Wire) int {
+	c := w.C
+	if c < 0 {
+		c = -c
+	}
+	return 2 + 24 + bits.Len64(uint64(c)) + 1 + int(w.B)
+}
+
+// Envelope messages with variable-width payloads; headers are accounted at
+// 2 bits.
 
 type upItem struct{ it Item }
 
 func (m upItem) Bits() int { return m.it.Bits() + 2 }
 
-type upDone struct{}
-
-func (upDone) Bits() int { return 2 }
-
 type downItem struct{ it Item }
 
 func (m downItem) Bits() int { return m.it.Bits() + 2 }
 
-type downEnd struct{}
-
-func (downEnd) Bits() int { return 2 }
-
 type bcastMsg struct{ m congest.Message }
 
 func (m bcastMsg) Bits() int { return m.m.Bits() + 2 }
-
-type bcastEnd struct{}
-
-func (bcastEnd) Bits() int { return 2 }
-
-type maxUpMsg struct{ v int64 }
-
-func (maxUpMsg) Bits() int { return 2 + 64 }
-
-type maxDownMsg struct{ v int64 }
-
-func (maxDownMsg) Bits() int { return 2 + 64 }
-
-type bfMsg struct {
-	src  int
-	dist rational.Q
-}
-
-func (m bfMsg) Bits() int { return 2 + 24 + m.dist.Bits() }

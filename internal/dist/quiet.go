@@ -6,16 +6,9 @@ import "steinerforest/internal/congest"
 // messages delivered last round and returns this round's sends plus an
 // activity flag. A step that returns no sends and reports inactive must
 // stay that way under empty input (no spontaneous reactivation) — receipt
-// of a message may reactivate it.
+// of a message may reactivate it. The driver relies on this contract to
+// skip step calls (and park the node) through quiet stretches.
 type Step func(round int, in []congest.Recv) ([]congest.Send, bool)
-
-type quietMsg struct{}
-
-func (quietMsg) Bits() int { return 2 }
-
-type exitMsg struct{}
-
-func (exitMsg) Bits() int { return 2 }
 
 // RunQuiet drives step until the whole network is quiescent — every node
 // inactive with nothing to send and no payload in flight — and returns on
@@ -26,6 +19,15 @@ func (exitMsg) Bits() int { return 2 }
 // rr + height - d, so the root sees a consistent global snapshot of every
 // payload round), and once the root observes a globally quiet round it
 // broadcasts a synchronized exit.
+//
+// Quiescent subtrees cost the scheduler (almost) nothing: a node with an
+// empty slot parks for that round, and a node in protocol steady state —
+// quiet across its whole reporting window with all children reporting —
+// hands the engine a standing order (congest.Host.Standby) that keeps its
+// per-slot quiet bit flowing up while the node itself stays parked until
+// something deviates: payload arriving, a child falling silent, or the
+// exit wave. The message schedule is identical to the always-exchanging
+// driver, which the equivalence tests pin.
 //
 // The step's round counter counts payload rounds only.
 func RunQuiet(h *congest.Host, t *Tree, step Step) {
@@ -49,33 +51,111 @@ func RunQuiet(h *congest.Host, t *Tree, step Step) {
 	detected := false           // root: a globally quiet round was observed
 	sendExitAt, exitAt := -1, -1
 	suppress := false // stop reporting once the exit wave arrived
+	canStand := !t.IsRoot() && lag < 64
+	r0 := h.Round()
+	var ctrl []congest.Send
 
 	out, active := step(0, nil)
 	for s := 0; ; s++ {
 		// Payload slot s: out/active were produced by step(s, ...).
-		hist[s%(lag+1)] = len(out) == 0 && !active
-		pin := h.Exchange(out)
-		out, active = step(s+1, pin)
+		quiet := len(out) == 0 && !active
+		hist[s%(lag+1)] = quiet
+		var pin []congest.Recv
+		if canStand && quiet && !suppress && exitAt < 0 {
+			// Until something deviates — payload arriving, the children's
+			// echo pattern changing, the exit wave — this node's behavior
+			// is fixed, so it parks on a standing order instead of driving
+			// the slots itself. With all children reporting, the order is
+			// a masked heartbeat: per control slot s+i the quiet bit of
+			// the already-known history entry s+i-lag (every entry past
+			// the window is a parked, hence quiet, slot). With children
+			// missing, the node reports nothing until a full echo set
+			// arrives, so it waits: partial echo sets leave it silent
+			// whatever their count, and the engine consumes them in place.
+			var in []congest.Recv
+			if lastCount == nc {
+				var mask uint64
+				for i := 0; i <= lag; i++ {
+					if j := s - lag + i; j >= 0 && hist[j%(lag+1)] {
+						mask |= 1 << uint(i)
+					}
+				}
+				in = h.Standby(t.ParentPort, congest.Wire{Kind: wireQuiet}, nc, mask, lag+1)
+				// Parked control slots echoed cleanly: lastCount stays nc.
+			} else {
+				in = h.Await(wireQuiet, nc)
+				// Parked control slots carried partial echo sets; any
+				// sub-nc count behaves identically.
+				lastCount = 0
+			}
+			rel := h.Round() - r0 - 1 // the deviating round, relative
+			sw := rel / 2
+			// Parked slots were payload-silent: mark them quiet, keeping
+			// the surviving older window entries.
+			for j := s + 1; j <= sw && j <= s+lag+1; j++ {
+				hist[j%(lag+1)] = true
+			}
+			s = sw
+			if rel%2 == 1 {
+				// Woken in the control round of slot s (a child fell
+				// silent, or the exit wave): our quiet bit for this slot is
+				// already out; fold the inbox in and move to the next slot.
+				count := 0
+				for _, rc := range in {
+					switch rc.Wire.Kind {
+					case wireQuiet:
+						count++
+					case wireExit:
+						suppress = true
+						exitAt = s + height - depth
+						sendExitAt = s + 1
+					}
+				}
+				lastCount = count
+				if exitAt >= 0 && s >= exitAt {
+					return
+				}
+				out, active = nil, false
+				continue
+			}
+			// Woken in the payload round of slot s: in is payload input.
+			pin = in
+		} else if len(out) > 0 {
+			pin = h.Exchange(out)
+		} else {
+			pin = h.SleepUntil(h.Round() + 1)
+		}
+		if quiet && len(pin) == 0 {
+			out, active = nil, false // the Step contract: quiet stays quiet
+		} else {
+			out, active = step(s+1, pin)
+		}
 
 		// Control slot s.
-		var ctrl []congest.Send
+		ctrl = ctrl[:0]
 		rr := s - lag
 		if !t.IsRoot() && !suppress && rr >= 0 {
 			if hist[rr%(lag+1)] && lastCount == nc {
-				ctrl = append(ctrl, congest.Send{Port: t.ParentPort, Msg: quietMsg{}})
+				ctrl = append(ctrl, congest.Send{Port: t.ParentPort, Wire: congest.Wire{Kind: wireQuiet}})
 			}
 		}
 		if s == sendExitAt {
 			for _, p := range t.ChildPorts {
-				ctrl = append(ctrl, congest.Send{Port: p, Msg: exitMsg{}})
+				ctrl = append(ctrl, congest.Send{Port: p, Wire: congest.Wire{Kind: wireExit}})
 			}
 		}
+		var cin []congest.Recv
+		if len(ctrl) > 0 {
+			cin = h.Exchange(ctrl)
+		} else {
+			cin = h.SleepUntil(h.Round() + 1)
+		}
 		count := 0
-		for _, rc := range h.Exchange(ctrl) {
-			switch rc.Msg.(type) {
-			case quietMsg:
+		for _, rc := range cin {
+			switch rc.Wire.Kind {
+			case wireQuiet:
 				count++
-			case exitMsg:
+			case wireExit:
 				suppress = true
 				exitAt = s + height - depth
 				sendExitAt = s + 1
@@ -92,6 +172,15 @@ func RunQuiet(h *congest.Host, t *Tree, step Step) {
 			}
 		}
 		if exitAt >= 0 && s >= exitAt {
+			return
+		}
+		if exitAt >= 0 && sendExitAt >= 0 && s >= sendExitAt && len(out) == 0 && !active {
+			// The exit wave is forwarded and the network is globally quiet:
+			// the remaining slots are pure waiting for the deepest nodes to
+			// be reached. Idle straight to the common exit round — stray
+			// child echoes arriving meanwhile are discarded unread, which
+			// is what the loop would have done with them.
+			h.Idle(r0 + 2*exitAt + 2 - h.Round())
 			return
 		}
 	}

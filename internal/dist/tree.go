@@ -17,109 +17,97 @@ type Tree struct {
 // IsRoot reports whether this node is the tree root.
 func (t *Tree) IsRoot() bool { return t.ParentPort < 0 }
 
-type exploreMsg struct{}
-
-func (exploreMsg) Bits() int { return 2 }
-
-type acceptMsg struct{}
-
-func (acceptMsg) Bits() int { return 2 }
-
-type doneUpMsg struct{ maxDepth int }
-
-func (doneUpMsg) Bits() int { return 2 + 24 }
-
-type finishMsg struct{ height int }
-
-func (finishMsg) Bits() int { return 2 + 24 }
-
 // BuildBFS constructs the BFS spanning tree rooted at node 0 in O(D)
 // rounds: a layered explore/accept flood builds levels and child sets, a
 // completion convergecast carries the maximum depth to the root, and a
 // final finish broadcast delivers the height with a synchronized exit (all
 // nodes return in the same round).
+//
+// The schedule, with r counting rounds from entry: a node at depth d is
+// woken by the explore flood in round d-1, floods in round d, learns its
+// children from the accepts of round d+1, sends its completion one round
+// after the last subtree completion arrived (round d+2 at the leaves),
+// forwards the finish wave one round after receiving it, and everyone
+// idles out to the common exit round. All waiting is done asleep: an
+// unjoined node has nothing to say until the flood reaches it, and a
+// joined one nothing between its accepts and its subtree completions.
 func BuildBFS(h *congest.Host) *Tree {
 	t := &Tree{Root: 0, ParentPort: -1}
 	if h.N() <= 1 {
 		return t
 	}
+	r0 := h.Round()
 	deg := h.Degree()
-	joined := h.ID() == 0
-	exploreAt := 0 // round in which this node floods; -1 until joined
-	if !joined {
-		exploreAt = -1
+
+	if h.ID() != 0 {
+		// Sleep until the explore flood arrives; the inbox is port-sorted,
+		// so the lowest explorer wins the parent role.
+		in := h.Sleep()
+		t.Depth = h.Round() - r0
+		t.ParentPort = in[0].Port
 	}
+	flood := make([]congest.Send, 0, deg)
+	for p := 0; p < deg; p++ {
+		kind := wireExplore
+		if p == t.ParentPort {
+			kind = wireAccept
+		}
+		flood = append(flood, congest.Send{Port: p, Wire: congest.Wire{Kind: kind}})
+	}
+	h.Exchange(flood)
+	// Accepts arrive exactly one round after the flood (explores from
+	// same-level neighbors may share the inbox); afterwards the child set
+	// is final and port-sorted.
 	var children []int
-	childrenKnown := false
-	pendingDone := 0
-	maxDepth := 0
-	sendDoneAt, sendFinishAt, forwardFinishAt, exitAt := -1, -1, -1, -1
-
-	for r := 0; ; r++ {
-		var out []congest.Send
-		if joined && r == exploreAt {
-			for p := 0; p < deg; p++ {
-				if p == t.ParentPort {
-					out = append(out, congest.Send{Port: p, Msg: acceptMsg{}})
-				} else {
-					out = append(out, congest.Send{Port: p, Msg: exploreMsg{}})
-				}
-			}
-		}
-		if r == sendDoneAt {
-			out = append(out, congest.Send{Port: t.ParentPort, Msg: doneUpMsg{maxDepth: maxDepth}})
-		}
-		if r == sendFinishAt || r == forwardFinishAt {
-			for _, p := range children {
-				out = append(out, congest.Send{Port: p, Msg: finishMsg{height: t.Height}})
-			}
-		}
-
-		for _, rc := range h.Exchange(out) {
-			switch m := rc.Msg.(type) {
-			case exploreMsg:
-				if !joined {
-					joined = true
-					t.Depth = r + 1
-					t.ParentPort = rc.Port // inbox is port-sorted: lowest explorer wins
-					exploreAt = r + 1
-				}
-			case acceptMsg:
-				children = append(children, rc.Port)
-			case doneUpMsg:
-				if m.maxDepth > maxDepth {
-					maxDepth = m.maxDepth
-				}
-				pendingDone--
-			case finishMsg:
-				t.Height = m.height
-				exitAt = r + t.Height - t.Depth
-				forwardFinishAt = r + 1
-			}
-		}
-
-		// Accepts arrive exactly one round after the flood; afterwards the
-		// child set is final.
-		if joined && r == exploreAt+1 {
-			childrenKnown = true
-			pendingDone = len(children)
-			if t.Depth > maxDepth {
-				maxDepth = t.Depth
-			}
-		}
-		if childrenKnown && pendingDone == 0 && sendDoneAt < 0 && sendFinishAt < 0 && exitAt < 0 {
-			if t.IsRoot() {
-				t.Height = maxDepth
-				sendFinishAt = r + 1
-				exitAt = r + t.Height
-			} else {
-				sendDoneAt = r + 1
-				pendingDone = -1 // sent; never re-trigger
-			}
-		}
-		if exitAt >= 0 && r >= exitAt {
-			t.ChildPorts = children // port-sorted: accepts of one round arrive ordered
-			return t
+	for _, rc := range h.Exchange(nil) {
+		if rc.Wire.Kind == wireAccept {
+			children = append(children, rc.Port)
 		}
 	}
+
+	maxDepth := t.Depth
+	for pending := len(children); pending > 0; {
+		for _, rc := range h.Sleep() {
+			if rc.Wire.Kind == wireDoneUp {
+				if d := int(rc.Wire.C); d > maxDepth {
+					maxDepth = d
+				}
+				pending--
+			}
+		}
+	}
+
+	if t.IsRoot() {
+		t.Height = maxDepth
+		finish := make([]congest.Send, 0, len(children))
+		for _, p := range children {
+			finish = append(finish, congest.Send{Port: p, Wire: congest.Wire{Kind: wireFinish, C: int64(t.Height)}})
+		}
+		h.Exchange(finish)
+		// The finish wave reaches the deepest node Height-1 rounds after
+		// this send; exit together with it.
+		h.Idle(t.Height - 1)
+	} else {
+		h.Exchange([]congest.Send{{Port: t.ParentPort, Wire: congest.Wire{Kind: wireDoneUp, C: int64(maxDepth)}}})
+		for t.Height == 0 {
+			for _, rc := range h.Sleep() {
+				if rc.Wire.Kind == wireFinish {
+					t.Height = int(rc.Wire.C)
+				}
+			}
+		}
+		// The finish arrived in relative round rf = h.Round()-r0-1; forward
+		// it, then idle to the common exit round rf + Height - Depth.
+		exitRound := h.Round() + t.Height - t.Depth
+		if len(children) > 0 {
+			finish := make([]congest.Send, 0, len(children))
+			for _, p := range children {
+				finish = append(finish, congest.Send{Port: p, Wire: congest.Wire{Kind: wireFinish, C: int64(t.Height)}})
+			}
+			h.Exchange(finish)
+		}
+		h.Idle(exitRound - h.Round())
+	}
+	t.ChildPorts = children
+	return t
 }

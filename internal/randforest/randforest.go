@@ -18,6 +18,12 @@
 // ModeKhanBaseline reproduces the congestion behaviour of the original [14]
 // selection — labels processed sequentially with no cross-label
 // multiplexing — as the O~(sk) comparison baseline of experiment T4.
+//
+// The per-round routing machinery is allocation-light: label sets are
+// sorted int slices (their sorted iteration is also what makes round and
+// message counts deterministic under a fixed seed), per-port queues are
+// indexed slices of wire values, and the route/delegate/token messages
+// travel as inline congest.Wire payloads instead of boxed interfaces.
 package randforest
 
 import (
@@ -105,28 +111,23 @@ func (m labelItem) Less(o dist.Item) bool {
 	return m.node < x.node
 }
 
-// routeMsg carries label lbl toward virtual-tree destination dst (Step 3c).
-type routeMsg struct {
-	lbl int
-	dst int
+// Wire kinds of the per-round messages (range 24-31 is reserved for this
+// package). A route message carries label C toward virtual-tree
+// destination A (Step 3c); a delegation message retraces chain (key B,
+// dst A) handing over label C (Step 3d); the token walks up Voronoi trees
+// during second-stage edge marking. Widths match the former boxed forms:
+// two resp. three 24-bit ids, 2 bits for the token.
+const (
+	wireRoute uint16 = 24
+	wireDeleg uint16 = 25
+	wireToken uint16 = 26
+)
+
+func init() {
+	congest.RegisterWireKind(wireRoute, 2*24)
+	congest.RegisterWireKind(wireDeleg, 3*24)
+	congest.RegisterWireKind(wireToken, 2)
 }
-
-func (m routeMsg) Bits() int { return 2 * 24 }
-
-// delegMsg backtraces one gathered label from an ancestor to its chosen
-// representative along the (key, dst) first-receipt chain (Step 3d).
-type delegMsg struct {
-	key int // the label whose forward chain is being retraced
-	dst int // the ancestor performing the delegation
-	lbl int // the delegated label
-}
-
-func (m delegMsg) Bits() int { return 3 * 24 }
-
-// tokenMsg walks up Voronoi trees during second-stage edge marking.
-type tokenMsg struct{}
-
-func (tokenMsg) Bits() int { return 2 }
 
 type nodeState struct {
 	h     *congest.Host
@@ -138,8 +139,9 @@ type nodeState struct {
 	emb *embed.Embedding
 	inF map[int]bool // ports whose edges this node added to F
 
-	labels  []int       // global sorted label set
-	holders map[int]int // label -> number of holders (capped at 2)
+	labels  []int            // global sorted label set
+	sendBuf []congest.Send   // reused per-round flush buffer
+	queues  [][]congest.Wire // per-port pending sends, reused across levels
 }
 
 func (ns *nodeState) run() {
@@ -147,6 +149,8 @@ func (ns *nodeState) run() {
 	ns.t = dist.BuildBFS(h)
 	ns.emb = embed.Build(h, ns.t, embed.Options{Truncate: ns.mode == ModeTruncated})
 	ns.inF = make(map[int]bool)
+	ns.sendBuf = make([]congest.Send, 0, h.Degree())
+	ns.queues = make([][]congest.Wire, h.Degree())
 
 	// Global label census (2 witnesses per label), also the basis of the
 	// singleton deletions in every phase's Step 3a.
@@ -155,22 +159,42 @@ func (ns *nodeState) run() {
 	switch ns.mode {
 	case ModeKhanBaseline:
 		for _, lbl := range ns.labels {
-			mine := map[int]bool{}
+			var mine []int
 			if ns.label == lbl {
-				mine[lbl] = true
+				mine = []int{lbl}
 			}
 			ns.stageOne(mine)
 		}
 	default:
-		mine := map[int]bool{}
+		var mine []int
 		if ns.label != steiner.NoLabel {
-			mine[ns.label] = true
+			mine = []int{ns.label}
 		}
 		ns.stageOne(mine)
 	}
 
 	if ns.mode == ModeTruncated {
 		ns.stageTwo()
+	}
+}
+
+// capTwoPerLabel filters a (lbl, node)-sorted label stream down to at most
+// two witnesses per label. The stream order lets a run-length counter
+// replace the per-item map the filter used to keep.
+func capTwoPerLabel() dist.Filter {
+	first := true
+	last, run := 0, 0
+	return func(x dist.Item) bool {
+		lbl := x.(labelItem).lbl
+		if first || lbl != last {
+			first, last, run = false, lbl, 1
+			return true
+		}
+		if run >= 2 {
+			return false
+		}
+		run++
+		return true
 	}
 }
 
@@ -181,34 +205,23 @@ func (ns *nodeState) collectLabels() {
 	if ns.label != steiner.NoLabel {
 		local = append(local, labelItem{lbl: ns.label, node: ns.h.ID()})
 	}
-	newFilter := func() dist.Filter {
-		count := map[int]int{}
-		return func(x dist.Item) bool {
-			l := x.(labelItem).lbl
-			if count[l] >= 2 {
-				return false
-			}
-			count[l]++
-			return true
+	got := dist.UpcastBroadcast(ns.h, ns.t, local, capTwoPerLabel, nil)
+	// The stream is (lbl, node)-sorted: one pass over its runs yields the
+	// ascending label set.
+	for i := 0; i < len(got); {
+		lbl := got[i].(labelItem).lbl
+		for i < len(got) && got[i].(labelItem).lbl == lbl {
+			i++
 		}
+		ns.labels = append(ns.labels, lbl)
 	}
-	got := dist.UpcastBroadcast(ns.h, ns.t, local, newFilter, nil)
-	ns.holders = make(map[int]int)
-	for _, x := range got {
-		li := x.(labelItem)
-		ns.holders[li.lbl]++
-	}
-	ns.labels = make([]int, 0, len(ns.holders))
-	for l := range ns.holders {
-		ns.labels = append(ns.labels, l)
-	}
-	sort.Ints(ns.labels)
 }
 
 // sortedLabels returns the label set in ascending order. Every iteration
-// over a label set that feeds messages into the network must use it: map
-// order would shuffle per-port queues and upcast pipelines between runs,
-// making round and message counts nondeterministic under a fixed seed.
+// over a label set that feeds messages into the network must be sorted:
+// map order would shuffle per-port queues and upcast pipelines between
+// runs, making round and message counts nondeterministic under a fixed
+// seed.
 func sortedLabels(m map[int]bool) []int {
 	labels := make([]int, 0, len(m))
 	for lbl := range m {
@@ -219,42 +232,44 @@ func sortedLabels(m map[int]bool) []int {
 }
 
 // stageOne runs the level phases of the first stage with the given initial
-// label set and marks all traversed edges into F.
-func (ns *nodeState) stageOne(l map[int]bool) {
+// label set (ascending) and marks all traversed edges into F.
+func (ns *nodeState) stageOne(l []int) {
 	h := ns.h
+	deg := h.Degree()
 	for i := 0; i <= ns.emb.L; i++ {
-		// Step 3a: drop labels held by a single node.
-		var local []dist.Item
-		for _, lbl := range sortedLabels(l) {
+		// Step 3a: drop labels held by a single node. The collected stream
+		// is (lbl, node)-sorted, so the census is a run-length pass and the
+		// surviving set an in-place sorted intersection — no per-level maps.
+		local := make([]dist.Item, 0, len(l))
+		for _, lbl := range l {
 			local = append(local, labelItem{lbl: lbl, node: h.ID()})
 		}
-		newFilter := func() dist.Filter {
-			count := map[int]int{}
-			return func(x dist.Item) bool {
-				lbl := x.(labelItem).lbl
-				if count[lbl] >= 2 {
-					return false
-				}
-				count[lbl]++
-				return true
-			}
-		}
-		got := dist.UpcastBroadcast(h, ns.t, local, newFilter, nil)
-		seen := map[int]int{}
-		for _, x := range got {
-			seen[x.(labelItem).lbl]++
-		}
+		got := dist.UpcastBroadcast(h, ns.t, local, capTwoPerLabel, nil)
 		anyLive := false
-		for lbl, c := range seen {
-			if c == 1 {
-				delete(l, lbl)
-			} else {
-				anyLive = true
+		kept := l[:0] // in-place: writes trail the read cursor
+		li := 0
+		for i2 := 0; i2 < len(got); {
+			lbl := got[i2].(labelItem).lbl
+			j := i2
+			for j < len(got) && got[j].(labelItem).lbl == lbl {
+				j++
 			}
+			if j-i2 >= 2 {
+				anyLive = true
+				for li < len(l) && l[li] < lbl {
+					li++
+				}
+				if li < len(l) && l[li] == lbl {
+					kept = append(kept, lbl)
+					li++
+				}
+			}
+			i2 = j
 		}
 		if !anyLive {
 			return // every label satisfied; all nodes agree and exit together
 		}
+		l = kept
 
 		// Step 3b: aim each held label at the level-i ancestor.
 		anc, _ := ns.emb.Ancestor(i)
@@ -263,10 +278,30 @@ func (ns *nodeState) stageOne(l map[int]bool) {
 		originated := map[chainKey]bool{}
 		gathered := map[int]bool{} // l̂: labels gathered here as ancestor
 		var gatherOrder []chainKey // self chains arriving here, in order
-		queues := map[int][]congest.Message{}
-		push := func(port int, m congest.Message) { queues[port] = append(queues[port], m) }
+		for p := range ns.queues {
+			ns.queues[p] = ns.queues[p][:0]
+		}
+		push := func(port int, w congest.Wire) { ns.queues[port] = append(ns.queues[port], w) }
+		// flushQueues emits the head of every nonempty port queue, in port
+		// order, into the reused send buffer.
+		flushQueues := func(markF bool) []congest.Send {
+			out := ns.sendBuf[:0]
+			for p := 0; p < deg; p++ {
+				q := ns.queues[p]
+				if len(q) == 0 {
+					continue
+				}
+				out = append(out, congest.Send{Port: p, Wire: q[0]})
+				ns.queues[p] = q[1:]
+				if markF {
+					ns.markPort(p)
+				}
+			}
+			ns.sendBuf = out
+			return out
+		}
 
-		for _, lbl := range sortedLabels(l) {
+		for _, lbl := range l {
 			key := chainKey{lbl: lbl, dst: anc.Node}
 			originated[key] = true
 			if anc.Node == h.ID() {
@@ -276,7 +311,8 @@ func (ns *nodeState) stageOne(l map[int]bool) {
 				}
 				continue
 			}
-			push(ns.routePort(anc.Node, anc.NextHop), routeMsg{lbl: lbl, dst: anc.Node})
+			push(ns.routePort(anc.Node, anc.NextHop),
+				congest.Wire{Kind: wireRoute, A: uint32(anc.Node), C: int64(lbl)})
 		}
 
 		// Step 3c: route with per-chain dedup until quiescence.
@@ -286,85 +322,75 @@ func (ns *nodeState) stageOne(l map[int]bool) {
 		}
 		step := func(r int, in []congest.Recv) ([]congest.Send, bool) {
 			for _, rc := range in {
-				m, ok := rc.Msg.(routeMsg)
-				if !ok {
+				if rc.Wire.Kind != wireRoute {
 					continue
 				}
+				lbl, dst := int(rc.Wire.C), int(rc.Wire.A)
 				// The edge was traversed, so both endpoints record it in F.
 				ns.markPort(rc.Port)
-				key := chainKey{lbl: m.lbl, dst: m.dst}
+				key := chainKey{lbl: lbl, dst: dst}
 				if _, dup := firstFrom[key]; dup || handled[key] {
 					continue
 				}
 				firstFrom[key] = rc.Port
-				if m.dst == h.ID() {
-					if !gathered[m.lbl] {
-						gathered[m.lbl] = true
+				if dst == h.ID() {
+					if !gathered[lbl] {
+						gathered[lbl] = true
 						gatherOrder = append(gatherOrder, key)
 					}
 					continue
 				}
-				push(ns.routePort(m.dst, -2), m)
+				push(ns.routePort(dst, -2), rc.Wire)
 			}
-			var out []congest.Send
-			for p, q := range queues {
-				if len(q) == 0 {
-					continue
-				}
-				out = append(out, congest.Send{Port: p, Msg: q[0]})
-				queues[p] = q[1:]
-				ns.markPort(p)
-			}
+			out := flushQueues(true)
 			return out, len(out) > 0
 		}
 		dist.RunQuiet(h, ns.t, step)
 
 		// Step 3d: each ancestor delegates its gathered labels to the
 		// originator of the first chain that reached it.
-		next := map[int]bool{}
+		var next []int
 		if len(gatherOrder) > 0 {
 			pick := gatherOrder[0]
 			if originated[pick] {
-				for lbl := range gathered {
-					next[lbl] = true
-				}
+				next = append(next, sortedLabels(gathered)...)
 			} else {
 				back := firstFrom[pick]
 				for _, lbl := range sortedLabels(gathered) {
-					push(back, delegMsg{key: pick.lbl, dst: pick.dst, lbl: lbl})
+					push(back, delegWire(pick.lbl, pick.dst, lbl))
 				}
 			}
 		}
 		stepBack := func(r int, in []congest.Recv) ([]congest.Send, bool) {
 			for _, rc := range in {
-				m, ok := rc.Msg.(delegMsg)
-				if !ok {
+				if rc.Wire.Kind != wireDeleg {
 					continue
 				}
-				key := chainKey{lbl: m.key, dst: m.dst}
+				key := chainKey{lbl: int(rc.Wire.B), dst: int(rc.Wire.A)}
 				if originated[key] {
-					next[m.lbl] = true
+					next = append(next, int(rc.Wire.C))
 					continue
 				}
 				back, ok2 := firstFrom[key]
 				if !ok2 {
 					panic("randforest: delegation chain broken")
 				}
-				push(back, m)
+				push(back, rc.Wire)
 			}
-			var out []congest.Send
-			for p, q := range queues {
-				if len(q) == 0 {
-					continue
-				}
-				out = append(out, congest.Send{Port: p, Msg: q[0]})
-				queues[p] = q[1:]
-			}
+			out := flushQueues(false)
 			return out, len(out) > 0
 		}
 		dist.RunQuiet(h, ns.t, stepBack)
+		sort.Ints(next)
 		l = next
 	}
+}
+
+// delegWire encodes a delegation. Like the 24-bit id accounting it
+// inherits from the boxed form, it assumes labels fit the id width (the
+// chain label rides the 32-bit B slot).
+func delegWire(key, dst, lbl int) congest.Wire {
+	return congest.Wire{Kind: wireDeleg, A: uint32(dst), B: uint32(key), C: int64(lbl)}
 }
 
 // routePort resolves the forwarding port toward dst: members of S route via

@@ -220,10 +220,11 @@ func (ns *nodeState) stageTwo() {
 		}
 	}
 	seen := tokens > 0
+	var sendBuf [1]congest.Send
 	step := func(r int, in []congest.Recv) ([]congest.Send, bool) {
 		got := false
 		for _, rc := range in {
-			if _, ok := rc.Msg.(tokenMsg); ok {
+			if rc.Wire.Kind == wireToken {
 				got = true
 			}
 		}
@@ -234,7 +235,8 @@ func (ns *nodeState) stageTwo() {
 		if tokens > 0 && vor.ParentPort >= 0 {
 			tokens = 0
 			ns.out.mark(h.EdgeIndex(vor.ParentPort))
-			return []congest.Send{{Port: vor.ParentPort, Msg: tokenMsg{}}}, true
+			sendBuf[0] = congest.Send{Port: vor.ParentPort, Wire: congest.Wire{Kind: wireToken}}
+			return sendBuf[:], true
 		}
 		tokens = 0
 		return nil, got

@@ -51,6 +51,12 @@ type Spec struct {
 	// EdgeTracking records per-edge traffic in Stats.EdgeBits.
 	EdgeTracking bool
 
+	// NoFastPath forces the simulator's idle/sleep fast paths off, making
+	// parked nodes spin through plain exchanges instead. Results are
+	// identical either way (the equivalence tests pin this); the knob
+	// exists for those tests and for perf A/B runs.
+	NoFastPath bool
+
 	// NoCertificate skips the centralized dual-oracle run that computes
 	// Result.LowerBound — useful for large perf sweeps where the oracle
 	// would dominate the runtime.
@@ -74,6 +80,9 @@ func (s Spec) options() []congest.Option {
 	}
 	if s.EdgeTracking {
 		opts = append(opts, congest.WithEdgeTracking())
+	}
+	if s.NoFastPath {
+		opts = append(opts, congest.WithFastPath(false))
 	}
 	return opts
 }
