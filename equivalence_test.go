@@ -9,11 +9,14 @@ import (
 )
 
 // TestFastPathEquivalence pins the engine's core contract: the idle/sleep/
-// standby/relay fast paths may change how fast simulated rounds pass, but
-// never what happens in them. Every registered distributed solver, run
-// over a sample of workload families, must produce identical Stats
-// (Rounds, Messages, Bits, MaxMessageBits) and an identical forest with
-// the fast paths forced off and on, at parallelism 1 and 8.
+// standby/relay fast paths and the choice of node transport (continuation
+// scheduler vs legacy goroutines) may change how fast simulated rounds
+// pass, but never what happens in them. Every registered distributed
+// solver, run over a sample of workload families, must produce identical
+// Stats (Rounds, Messages, Bits, MaxMessageBits) and an identical forest
+// with the fast paths forced off and on and under both schedulers, at
+// parallelism 1 and 8. The reference run is the legacy goroutine scheduler
+// with fast paths off — the engine's plainest definition.
 func TestFastPathEquivalence(t *testing.T) {
 	families := []string{"planted", "grid2d", "geometric"}
 	algos := []string{"det", "rounded", "rand", "trunc", "khan"}
@@ -26,19 +29,25 @@ func TestFastPathEquivalence(t *testing.T) {
 		for _, algo := range algos {
 			t.Run(fam+"/"+algo, func(t *testing.T) {
 				base := steinerforest.Spec{Algorithm: algo, Seed: 7, NoCertificate: true}
-				ref, err := steinerforest.Solve(ins, withKnobs(base, true, 1))
+				ref, err := steinerforest.Solve(ins, withKnobs(base, true, 1, true))
 				if err != nil {
 					t.Fatalf("reference run: %v", err)
 				}
 				for _, v := range []struct {
 					noFast bool
 					par    int
-				}{{false, 1}, {false, 8}, {true, 8}} {
-					res, err := steinerforest.Solve(ins, withKnobs(base, v.noFast, v.par))
+					legacy bool
+				}{
+					{false, 1, false}, {false, 8, false}, // continuation × par
+					{true, 1, false}, {true, 8, false}, // continuation, fast off
+					{false, 1, true}, {false, 8, true}, // goroutines, fast on
+					{true, 8, true},
+				} {
+					res, err := steinerforest.Solve(ins, withKnobs(base, v.noFast, v.par, v.legacy))
 					if err != nil {
-						t.Fatalf("noFast=%v par=%d: %v", v.noFast, v.par, err)
+						t.Fatalf("noFast=%v par=%d legacy=%v: %v", v.noFast, v.par, v.legacy, err)
 					}
-					name := fmt.Sprintf("noFast=%v par=%d", v.noFast, v.par)
+					name := fmt.Sprintf("noFast=%v par=%d legacy=%v", v.noFast, v.par, v.legacy)
 					if a, b := ref.Stats, res.Stats; a.Rounds != b.Rounds ||
 						a.Messages != b.Messages || a.Bits != b.Bits ||
 						a.MaxMessageBits != b.MaxMessageBits ||
@@ -63,8 +72,9 @@ func TestFastPathEquivalence(t *testing.T) {
 	}
 }
 
-func withKnobs(s steinerforest.Spec, noFast bool, par int) steinerforest.Spec {
+func withKnobs(s steinerforest.Spec, noFast bool, par int, legacy bool) steinerforest.Spec {
 	s.NoFastPath = noFast
 	s.Parallelism = par
+	s.LegacyScheduler = legacy
 	return s
 }

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -75,8 +77,61 @@ func Compare(old, new []*Table, tolerance float64) CompareResult {
 			fmt.Fprintf(&b, "%-3s  new table (%s)\n", nt.ID, nt.Title)
 		}
 	}
+	summarizeTimings(&b, old, newByID)
 	res.Report = b.String()
 	return res
+}
+
+// summarizeTimings prints a benchstat-style before/after digest of every
+// shared timing column: the geometric mean of the per-row new/old ratios,
+// as a delta percentage, so the perf trajectory of a revision is readable
+// from the compare output (and from CI logs) at a glance without opening
+// the snapshots. Cells that fail to parse as numbers, zero cells, and
+// mismatched rows are skipped — the summary is informative, never a gate
+// (drift and regression are decided by Compare's cell and elapsed checks).
+func summarizeTimings(b *strings.Builder, old []*Table, newByID map[string]*Table) {
+	type line struct {
+		table, column string
+		delta         float64 // geomean(new/old) - 1, in percent
+		rows          int
+	}
+	var lines []line
+	for _, ot := range old {
+		nt, ok := newByID[ot.ID]
+		if !ok || strings.Join(ot.Header, "|") != strings.Join(nt.Header, "|") ||
+			len(ot.Rows) != len(nt.Rows) {
+			continue
+		}
+		for c, h := range ot.Header {
+			if !timingColumn(ot.ID, h) {
+				continue
+			}
+			logSum, rows := 0.0, 0
+			for i := range ot.Rows {
+				if c >= len(ot.Rows[i]) || c >= len(nt.Rows[i]) {
+					continue
+				}
+				ov, oerr := strconv.ParseFloat(ot.Rows[i][c], 64)
+				nv, nerr := strconv.ParseFloat(nt.Rows[i][c], 64)
+				if oerr != nil || nerr != nil || ov <= 0 || nv <= 0 {
+					continue
+				}
+				logSum += math.Log(nv / ov)
+				rows++
+			}
+			if rows == 0 {
+				continue
+			}
+			lines = append(lines, line{ot.ID, h, (math.Exp(logSum/float64(rows)) - 1) * 100, rows})
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+	b.WriteString("\ntiming summary (geomean of per-row new/old, negative = faster):\n")
+	for _, l := range lines {
+		fmt.Fprintf(b, "  %-3s  %-22s  %+7.1f%%  (%d rows)\n", l.table, l.column, l.delta, l.rows)
+	}
 }
 
 // compareTable prints per-cell correctness differences and returns how

@@ -4,12 +4,28 @@
 // performs arbitrary local computation and sends at most one B-bit message
 // over each incident edge (B = O(log n)).
 //
-// Each node runs as its own goroutine executing an ordinary sequential Go
-// function; Host.Exchange is the synchronous round barrier. This keeps
-// multi-phase algorithms readable — per-node code looks like the paper's
-// pseudocode — while the engine enforces the model: one message per edge
-// direction per round, per-message bit budgets, and explicit termination
-// (the run ends when every node's program returns).
+// Node programs are ordinary sequential Go functions; Host.Exchange is the
+// synchronous round barrier. This keeps multi-phase algorithms readable —
+// per-node code looks like the paper's pseudocode — while the engine
+// enforces the model: one message per edge direction per round, per-message
+// bit budgets, and explicit termination (the run ends when every node's
+// program returns).
+//
+// Execution is continuation-based, not goroutine-based: each node program
+// runs inside a runtime coroutine (iter.Pull) and every blocking call —
+// Exchange, Idle, Sleep, the standing orders — yields an explicit
+// continuation state back to the scheduler: the submission, carrying what
+// the node sent plus its resume condition (round reply, wake deadline,
+// wake-on-mail, heartbeat order, relay order). The scheduler drives all
+// runnable nodes for a round in-place by switching directly into their
+// suspended stacks, so an active node-round costs two coroutine switches
+// and no channel operations, no runtime-scheduler wakeups, and no futex
+// traffic; with WithParallelism(p) a fixed pool of p workers drives
+// disjoint node ranges. WithGoroutines(true) selects the legacy transport
+// instead — one goroutine per node, blocking on channels — kept as the
+// compatibility shim for hosting blocking programs off the engine's stack
+// and as the reference the stress and equivalence suites compare against:
+// both schedulers produce bit-identical Stats and deliveries.
 //
 // The round scheduler is event-driven and allocation-free on its hot path.
 // Nodes that have nothing to say park instead of spinning: Host.Idle(k)
@@ -40,6 +56,7 @@ package congest
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"math/rand"
 	"sort"
 	"sync"
@@ -116,6 +133,7 @@ type options struct {
 	trackEdges  bool
 	parallelism int
 	noFastPath  bool
+	goroutines  bool
 }
 
 // Option configures Run.
@@ -147,6 +165,14 @@ func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p
 // messages — is identical either way, which the equivalence tests pin.
 func WithFastPath(on bool) Option { return func(o *options) { o.noFastPath = !on } }
 
+// WithGoroutines selects the legacy node transport: one goroutine per node
+// blocking on channels, instead of the default continuation scheduler that
+// drives suspended node programs in-place. The observable behavior — Stats
+// and every delivered message — is bit-identical under both transports
+// (the scheduler stress and equivalence tests pin this); the goroutine
+// path remains as the compatibility shim and the A/B reference.
+func WithGoroutines(on bool) Option { return func(o *options) { o.goroutines = on } }
+
 // DefaultBandwidth is the per-edge budget used when none is given:
 // 32 words of ceil(log2(n+1)) bits, a generous O(log n).
 func DefaultBandwidth(n int) int {
@@ -161,7 +187,7 @@ func DefaultBandwidth(n int) int {
 }
 
 // Host is a node's handle to the simulation. All methods are to be called
-// only from that node's program goroutine.
+// only from that node's program.
 type Host struct {
 	id         int
 	n          int
@@ -170,12 +196,47 @@ type Host struct {
 	rngSeed    int64
 	round      int
 	fast       bool
-	wokeRound  int // written by the engine before a park wake-up reply
+	wokeRound  int // written by the engine before a park wake-up resume
 	relayLastN int // written by the engine: trailing inbox size of a relay wake
 
+	// Continuation transport (the default): yield suspends the program
+	// mid-call, handing the submission to the scheduler; resumeIn carries
+	// the inbox of the resume that follows.
+	coro     bool
+	yield    func(submission) bool
+	resumeIn []Recv
+
+	// Legacy goroutine transport (WithGoroutines): the program runs on its
+	// own goroutine and blocks on a channel round trip per submission.
 	submit chan<- submission
 	reply  chan []Recv
 	abort  <-chan struct{}
+}
+
+// transact hands one submission to the scheduler and suspends the node's
+// program until the engine resumes it, returning the resume inbox. On the
+// continuation transport this is a direct coroutine switch: yield parks the
+// program's whole stack as the continuation and returns the submission to
+// the scheduler's next(); the engine writes the inbox into resumeIn before
+// switching back in. On the legacy transport it is a channel round trip. A
+// false yield (or a closed abort channel) means the run is failing; the
+// program unwinds via the abort sentinel.
+func (h *Host) transact(sub submission) []Recv {
+	if h.coro {
+		if !h.yield(sub) {
+			panic(abortSentinel{})
+		}
+		return h.resumeIn
+	}
+	// The submit channel holds one slot per node and every node has at most
+	// one submission in flight, so this send never blocks.
+	h.submit <- sub
+	select {
+	case in := <-h.reply:
+		return in
+	case <-h.abort:
+		panic(abortSentinel{})
+	}
 }
 
 // ID returns this node's identifier.
@@ -228,16 +289,9 @@ func (h *Host) Rand() *rand.Rand {
 // The returned slice aliases an engine-owned buffer that is reused: it is
 // valid only until this node's next call to Exchange.
 func (h *Host) Exchange(out []Send) []Recv {
-	// The submit channel holds one slot per node and every node has at most
-	// one submission in flight, so this send never blocks.
-	h.submit <- submission{node: h.id, kind: subExchange, out: out}
-	select {
-	case in := <-h.reply:
-		h.round++
-		return in
-	case <-h.abort:
-		panic(abortSentinel{})
-	}
+	in := h.transact(submission{node: h.id, kind: subExchange, out: out})
+	h.round++
+	return in
 }
 
 // Idle advances the node through the given number of rounds without
@@ -345,15 +399,10 @@ func (h *Host) Standby(port int, beat Wire, expect int, mask uint64, maskLen int
 			}
 		}
 	}
-	h.submit <- submission{node: h.id, kind: subStand,
-		ext: &subExt{hbPort: port, hbWire: beat, hbN: expect, hbMask: mask, hbMaskLen: maskLen}}
-	select {
-	case in := <-h.reply:
-		h.round = h.wokeRound
-		return in
-	case <-h.abort:
-		panic(abortSentinel{})
-	}
+	in := h.transact(submission{node: h.id, kind: subStand,
+		ext: &subExt{hbPort: port, hbWire: beat, hbN: expect, hbMask: mask, hbMaskLen: maskLen}})
+	h.round = h.wokeRound
+	return in
 }
 
 // Await is Standby's waiting counterpart for a node whose convergecast
@@ -388,15 +437,10 @@ func (h *Host) Await(kind uint16, expect int) []Recv {
 			}
 		}
 	}
-	h.submit <- submission{node: h.id, kind: subStand,
-		ext: &subExt{hbWire: Wire{Kind: kind}, hbN: expect, hbWait: true}}
-	select {
-	case in := <-h.reply:
-		h.round = h.wokeRound
-		return in
-	case <-h.abort:
-		panic(abortSentinel{})
-	}
+	in := h.transact(submission{node: h.id, kind: subStand,
+		ext: &subExt{hbWire: Wire{Kind: kind}, hbN: expect, hbWait: true}})
+	h.round = h.wokeRound
+	return in
 }
 
 // Relay parks the node as a broadcast pipeline stage: every message
@@ -454,29 +498,19 @@ func (h *Host) Relay(srcPort int, dstPorts []int, endKind uint16) (relayed, last
 			}
 		}
 	}
-	h.submit <- submission{node: h.id, kind: subRelay,
-		ext: &subExt{hbPort: srcPort, relayDst: dstPorts, relayEnd: endKind}}
-	select {
-	case in := <-h.reply:
-		h.round = h.wokeRound
-		cut := len(in) - h.relayLastN
-		return in[:cut], in[cut:]
-	case <-h.abort:
-		panic(abortSentinel{})
-	}
+	in := h.transact(submission{node: h.id, kind: subRelay,
+		ext: &subExt{hbPort: srcPort, relayDst: dstPorts, relayEnd: endKind}})
+	h.round = h.wokeRound
+	cut := len(in) - h.relayLastN
+	return in[:cut], in[cut:]
 }
 
-// park submits a park request and blocks until the engine wakes this node,
-// syncing the local round counter to the wake round.
+// park submits a park request and suspends until the engine wakes this
+// node, syncing the local round counter to the wake round.
 func (h *Host) park(wakeAt int, wakeOnMsg bool) []Recv {
-	h.submit <- submission{node: h.id, kind: subPark, ext: &subExt{wakeAt: wakeAt, wakeOnMsg: wakeOnMsg}}
-	select {
-	case in := <-h.reply:
-		h.round = h.wokeRound
-		return in
-	case <-h.abort:
-		panic(abortSentinel{})
-	}
+	in := h.transact(submission{node: h.id, kind: subPark, ext: &subExt{wakeAt: wakeAt, wakeOnMsg: wakeOnMsg}})
+	h.round = h.wokeRound
+	return in
 }
 
 type abortSentinel struct{}
@@ -490,9 +524,11 @@ const (
 	subErr
 )
 
-// submission is one node's per-round message to the scheduler. The hot
-// case (an exchange) must stay small — it is copied through a channel for
-// every node round — so the parameters of the rare parking kinds live
+// submission is one node's per-round message to the scheduler: the
+// continuation state a suspended program yields — what it sent plus its
+// resume condition. The hot case (an exchange) must stay small — it is
+// copied by value for every node round (and through a channel on the
+// legacy transport) — so the parameters of the rare parking kinds live
 // behind a pointer allocated once per park.
 type submission struct {
 	node int
@@ -639,6 +675,17 @@ type engine struct {
 	stats *Stats
 	hosts []*Host
 
+	// Continuation transport: per-node resume/stop handles of the
+	// suspended programs, the per-shard submissions recorded by the drive
+	// passes, the submissions recorded by serial wakes, and the reusable
+	// collection buffer the round loop processes.
+	coro       bool
+	next       []func() (submission, bool)
+	stopFn     []func()
+	pend       [][]submission
+	serialPend []submission
+	collected  []submission
+
 	mode      []nodeMode
 	parkStamp []uint32 // bumped on every park/wake; validates wake entries
 	wakeAt    []int    // parked node's deadline (-1 = none)
@@ -702,20 +749,26 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	}
 	o.parallelism = p
 
-	subCh := make(chan submission, n)
-	abort := make(chan struct{})
+	coro := !o.goroutines
+	var subCh chan submission
+	var abort chan struct{}
 	aborted := false
-	defer func() {
-		if !aborted {
-			close(abort)
-		}
-	}()
+	if !coro {
+		subCh = make(chan submission, n)
+		abort = make(chan struct{})
+		defer func() {
+			if !aborted {
+				close(abort)
+			}
+		}()
+	}
 
 	e := &engine{
 		n:          n,
 		o:          o,
 		stats:      stats,
 		hosts:      make([]*Host, n),
+		coro:       coro,
 		mode:       make([]nodeMode, n),
 		parkStamp:  make([]uint32, n),
 		wakeAt:     make([]int, n),
@@ -736,6 +789,22 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		returnPort: make([][]int32, n),
 		shardOf:    make([]int32, n),
 		buckets:    make([][]routed, p),
+	}
+	if coro {
+		e.next = make([]func() (submission, bool), n)
+		e.stopFn = make([]func(), n)
+		e.pend = make([][]submission, p)
+		e.collected = make([]submission, 0, n)
+		// Belt and braces: release any still-suspended continuation on the
+		// way out (normal exits and fails have already done so; this keeps
+		// an engine bug from leaking parked coroutine stacks). Joins any
+		// in-flight shard workers first — a panic between dispatch and the
+		// round's wg.Wait must not let stopAll race a worker's resume of
+		// the same coroutine.
+		defer func() {
+			e.wg.Wait()
+			e.stopAll()
+		}()
 	}
 	for v := 0; v < n; v++ {
 		e.shardOf[v] = int32(v * p / n)
@@ -760,22 +829,28 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	}
 	for v := 0; v < n; v++ {
 		ports := g.Neighbors(v)
-		e.hosts[v] = &Host{
+		h := &Host{
 			id:      v,
 			n:       n,
 			ports:   ports,
 			rngSeed: o.seed + int64(v)*0x9E3779B9,
 			fast:    !o.noFastPath,
-			submit:  subCh,
-			reply:   make(chan []Recv, 1),
-			abort:   abort,
+			coro:    coro,
 		}
+		e.hosts[v] = h
 		e.sentGen[v] = make([]uint32, len(ports))
 		e.slots[v] = make([]Recv, len(ports))
 		e.slotGen[v] = make([]uint32, len(ports))
 		e.touched[v] = make([]int32, 0, len(ports))
 		e.outBuf[v] = make([]Recv, 0, len(ports))
-		go runNode(e.hosts[v], program, subCh)
+		if coro {
+			e.next[v], e.stopFn[v] = iter.Pull(nodeSeq(h, program))
+		} else {
+			h.submit = subCh
+			h.reply = make(chan []Recv, 1)
+			h.abort = abort
+			go runNode(h, program, subCh)
+		}
 	}
 	if p > 1 {
 		e.start = make([]chan struct{}, p)
@@ -798,15 +873,28 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 
 	fail := func(err error) (*Stats, error) {
 		aborted = true
-		close(abort)
+		if coro {
+			e.stopAll()
+		} else {
+			close(abort)
+		}
 		return nil, err
 	}
 
+	if coro {
+		// Start every program, running each up to its first submission.
+		// From here on the nodes are suspended continuations that the
+		// round loop resumes in-place.
+		for v := 0; v < n; v++ {
+			e.resume(v, 0, nil, &e.serialPend)
+		}
+	}
+
 	for e.live > 0 {
-		expect := e.runnable
+		subsIn := e.collect(subCh)
 		exch := 0
-		for i := 0; i < expect; i++ {
-			s := <-subCh
+		for si := range subsIn {
+			s := subsIn[si]
 			switch s.kind {
 			case subErr:
 				return fail(s.err)
@@ -815,6 +903,9 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 				e.runnable--
 				e.mode[s.node] = modeDone
 				e.parkStamp[s.node]++
+				if coro {
+					e.release(s.node)
+				}
 			case subPark:
 				x := s.ext
 				e.runnable--
@@ -1085,13 +1176,18 @@ func (e *engine) deliver(from, dst, dstPort, edge, bits int, msg Message, wire W
 	}
 }
 
-// wakeRun flips a parked node back to runnable and replies with in. Only
-// for the serial passes — shard workers deliver to message-woken sleepers
-// themselves, with the mode flip and runnable bookkeeping done elsewhere.
+// wakeRun flips a parked node back to runnable and resumes it with in.
+// Only for the serial passes — shard workers deliver to message-woken
+// sleepers themselves, with the mode flip and runnable bookkeeping done
+// elsewhere.
 func (e *engine) wakeRun(v int, wokeRound int, in []Recv) {
 	e.mode[v] = modeRun
 	e.parkStamp[v]++
 	e.runnable++
+	if e.coro {
+		e.resume(v, wokeRound, in, &e.serialPend)
+		return
+	}
 	e.hosts[v].wokeRound = wokeRound
 	e.hosts[v].reply <- in
 }
@@ -1303,17 +1399,33 @@ func (e *engine) inbox(v int) []Recv {
 
 // runShard places the shard's routed messages into destination inbox slots
 // and delivers each exchanging node's port-ordered inbox, plus the inboxes
-// of sleepers its mail woke up. Shards own disjoint destination ranges, so
-// workers touch disjoint state.
+// of sleepers its mail woke up. On the continuation transport delivery IS
+// execution: the worker switches into each node's suspended program with
+// its inbox and records the submission the program yields next, so node
+// code for this shard runs here, on the worker's stack. Shards own
+// disjoint destination ranges (and disjoint continuations), so workers
+// touch disjoint state.
 func (e *engine) runShard(w int) {
 	for _, rt := range e.buckets[w] {
 		e.place(int(rt.dst), int(rt.dstPort), int(rt.from), rt.msg, rt.wire)
+	}
+	cur := e.stats.Rounds
+	if e.coro {
+		sink := &e.pend[w]
+		for _, v32 := range e.shardSubs[w] {
+			v := int(v32)
+			e.resume(v, cur, e.inbox(v), sink)
+		}
+		for _, v32 := range e.woken[w] {
+			v := int(v32)
+			e.resume(v, cur, e.inbox(v), sink)
+		}
+		return
 	}
 	for _, v32 := range e.shardSubs[w] {
 		v := int(v32)
 		e.hosts[v].reply <- e.inbox(v)
 	}
-	cur := e.stats.Rounds
 	for _, v32 := range e.woken[w] {
 		v := int(v32)
 		e.hosts[v].wokeRound = cur
@@ -1321,16 +1433,110 @@ func (e *engine) runShard(w int) {
 	}
 }
 
-func runNode(h *Host, program Program, subCh chan<- submission) {
+// collect gathers the round's submissions into the reusable processing
+// buffer: on the continuation transport they were already recorded by the
+// resume passes (per shard in drive order, then the serial wakes); on the
+// legacy transport one is received per runnable node, in channel-arrival
+// order. All submission processing is order-independent in its observable
+// effects, so the two orders yield identical runs.
+func (e *engine) collect(subCh <-chan submission) []submission {
+	buf := e.collected[:0]
+	if e.coro {
+		for w := range e.pend {
+			buf = append(buf, e.pend[w]...)
+			e.pend[w] = e.pend[w][:0]
+		}
+		buf = append(buf, e.serialPend...)
+		e.serialPend = e.serialPend[:0]
+	} else {
+		for i, expect := 0, e.runnable; i < expect; i++ {
+			buf = append(buf, <-subCh)
+		}
+	}
+	e.collected = buf
+	return buf
+}
+
+// resume switches into node v's suspended program with the given inbox and
+// records the submission it yields next. wokeRound is the completed-round
+// count a park wake syncs the node's clock to (Exchange returns ignore it
+// and count rounds themselves). The ok=false branch is unreachable while
+// the run is live: the node sequence always yields a terminal subDone or
+// subErr before returning, and finished nodes are never resumed.
+func (e *engine) resume(v, wokeRound int, in []Recv, sink *[]submission) {
+	h := e.hosts[v]
+	h.wokeRound = wokeRound
+	h.resumeIn = in
+	if sub, ok := e.next[v](); ok {
+		*sink = append(*sink, sub)
+	}
+}
+
+// release finishes a completed node's coroutine: the pending terminal
+// yield returns false and the sequence function exits.
+func (e *engine) release(v int) {
+	if e.stopFn[v] != nil {
+		e.stopFn[v]()
+		e.stopFn[v] = nil
+		e.next[v] = nil
+	}
+}
+
+// stopAll unwinds every still-suspended program (each sees its pending
+// yield return false and panics the abort sentinel through the node
+// code). Used by the fail path; idempotent.
+func (e *engine) stopAll() {
+	for v := range e.stopFn {
+		e.release(v)
+	}
+}
+
+// errAborted marks a program unwound by an engine abort; its sequence
+// exits without a terminal submission.
+var errAborted = errors.New("congest: aborted")
+
+// nodeSeq adapts a node program to the continuation transport: the program
+// runs inside a runtime coroutine, yielding one submission per blocking
+// call, plus a terminal subDone (or subErr) when it returns (or panics).
+func nodeSeq(h *Host, program Program) func(func(submission) bool) {
+	return func(yield func(submission) bool) {
+		h.yield = yield
+		switch err := runProtected(h, program); {
+		case err == nil:
+			yield(submission{node: h.id, kind: subDone})
+		case errors.Is(err, errAborted):
+			// Engine already failing; exit without yielding.
+		default:
+			yield(submission{node: h.id, kind: subErr, err: err})
+		}
+	}
+}
+
+// runProtected executes the node program, converting panics to errors (the
+// abort sentinel to errAborted).
+func runProtected(h *Host, program Program) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isAbort := r.(abortSentinel); isAbort {
-				return // engine already failing; exit quietly
+				err = errAborted
+				return
 			}
-			subCh <- submission{node: h.id, kind: subErr, err: fmt.Errorf("congest: node %d panicked: %v", h.id, r)}
-			return
+			err = fmt.Errorf("congest: node %d panicked: %v", h.id, r)
 		}
-		subCh <- submission{node: h.id, kind: subDone}
 	}()
 	program(h)
+	return nil
+}
+
+// runNode hosts a node program on its own goroutine — the legacy
+// transport's per-node loop.
+func runNode(h *Host, program Program, subCh chan<- submission) {
+	switch err := runProtected(h, program); {
+	case err == nil:
+		subCh <- submission{node: h.id, kind: subDone}
+	case errors.Is(err, errAborted):
+		// Engine already failing; exit quietly.
+	default:
+		subCh <- submission{node: h.id, kind: subErr, err: err}
+	}
 }

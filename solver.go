@@ -57,6 +57,14 @@ type Spec struct {
 	// exists for those tests and for perf A/B runs.
 	NoFastPath bool
 
+	// LegacyScheduler hosts every node program on its own goroutine (the
+	// simulator's channel-based compatibility transport) instead of the
+	// default continuation scheduler that drives suspended programs
+	// in-place. Results are bit-identical either way (the equivalence and
+	// stress tests pin this); the knob exists for those tests and for
+	// perf A/B runs.
+	LegacyScheduler bool
+
 	// NoCertificate skips the centralized dual-oracle run that computes
 	// Result.LowerBound — useful for large perf sweeps where the oracle
 	// would dominate the runtime.
@@ -83,6 +91,9 @@ func (s Spec) options() []congest.Option {
 	}
 	if s.NoFastPath {
 		opts = append(opts, congest.WithFastPath(false))
+	}
+	if s.LegacyScheduler {
+		opts = append(opts, congest.WithGoroutines(true))
 	}
 	return opts
 }
