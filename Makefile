@@ -32,10 +32,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz smoke: the instance parser must survive fresh fuzz input on
-# every CI run, not just the checked-in corpus.
+# Short fuzz smoke: the instance parser and the wire item codec must
+# survive fresh fuzz input on every CI run, not just the checked-in
+# corpus and seeds.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzReadInstance -fuzztime 10s ./internal/workload
+	$(GO) test -run xxx -fuzz FuzzCandWire -fuzztime 5s ./internal/detforest
 
 # Benchmark suite: experiment tables at reduced scale plus the engine
 # allocation profile (BenchmarkEngineFlood reports allocs/op; the
@@ -51,7 +53,7 @@ baseline:
 	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
 
 snapshot:
-	$(GO) run ./cmd/dsfbench -json > BENCH_pr4.json
+	$(GO) run ./cmd/dsfbench -json > BENCH_pr5.json
 
 # Short-mode run of the scheduler experiments: asserts the fast paths
 # (E2) and the continuation scheduler (E3) stay bit-identical to their
@@ -63,9 +65,10 @@ bench-smoke:
 # Gate perf changes against the committed snapshots: the correctness
 # columns (rounds, weights, ratios, feasibility) must match exactly; the
 # recorded per-table elapsed times may not regress beyond the tolerance,
-# and the timing summary prints the per-column perf trajectory.
+# and the timing summary prints the per-column perf trajectory. The report
+# is also written to a file so CI can attach it as an artifact on failure.
 bench-compare:
-	$(GO) run ./cmd/dsfbench -compare -tolerance $(TOLERANCE) BENCH_baseline.json BENCH_pr4.json
+	$(GO) run ./cmd/dsfbench -compare -tolerance $(TOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr5.json
 
 # The CI bench job: fresh scheduler-identity smoke plus the snapshot gate.
 bench-gate: bench-smoke bench-compare

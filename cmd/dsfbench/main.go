@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	dsfbench [-table all|t1|...|e2] [-quick] [-json]
+//	dsfbench [-table all|t1|...|e4] [-quick] [-large] [-json]
 //	         [-cpuprofile f] [-memprofile f]
-//	dsfbench -compare old.json new.json [-tolerance pct]
+//	dsfbench -compare old.json new.json [-tolerance pct] [-report f]
 //
 // With -json the results are emitted as a machine-readable array of table
 // objects ({id, title, claim, header, rows, notes, elapsed_ms}), so the
@@ -46,9 +46,11 @@ func run() int {
 	table := flag.String("table", "all",
 		"experiment to run (all, "+strings.Join(keys, ", ")+")")
 	quick := flag.Bool("quick", false, "shrink instance sizes for a fast smoke run")
+	large := flag.Bool("large", false, "add the opt-in large-scale rows (n=2048+) to the E2/E3 scheduler tables")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	compare := flag.Bool("compare", false, "compare two -json snapshots (old.json new.json) instead of running")
 	tolerance := flag.Float64("tolerance", 10, "with -compare: max per-table elapsed_ms regression, in percent")
+	report := flag.String("report", "", "with -compare: also write the report to this file (for CI artifacts)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
@@ -58,8 +60,9 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "dsfbench: -compare needs exactly two snapshot files (old.json new.json)")
 			return 2
 		}
-		return runCompare(flag.Arg(0), flag.Arg(1), *tolerance)
+		return runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *report)
 	}
+	bench.Large = *large
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -131,7 +134,7 @@ func run() int {
 	return 0
 }
 
-func runCompare(oldPath, newPath string, tolerance float64) int {
+func runCompare(oldPath, newPath string, tolerance float64, reportPath string) int {
 	load := func(path string) ([]*bench.Table, bool) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -155,6 +158,12 @@ func runCompare(oldPath, newPath string, tolerance float64) int {
 	}
 	res := bench.Compare(old, cur, tolerance)
 	fmt.Print(res.Report)
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, []byte(res.Report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench:", err)
+			return 2
+		}
+	}
 	switch {
 	case res.Drift:
 		fmt.Fprintln(os.Stderr, "dsfbench: correctness drift between snapshots")

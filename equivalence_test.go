@@ -9,12 +9,13 @@ import (
 )
 
 // TestFastPathEquivalence pins the engine's core contract: the idle/sleep/
-// standby/relay fast paths and the choice of node transport (continuation
-// scheduler vs legacy goroutines) may change how fast simulated rounds
-// pass, but never what happens in them. Every registered distributed
-// solver, run over a sample of workload families, must produce identical
-// Stats (Rounds, Messages, Bits, MaxMessageBits) and an identical forest
-// with the fast paths forced off and on and under both schedulers, at
+// standby/relay fast paths, the window relay, and the choice of node
+// transport (continuation scheduler vs legacy goroutines) may change how
+// fast simulated rounds pass, but never what happens in them. Every
+// registered distributed solver, run over a sample of workload families,
+// must produce identical Stats (Rounds, Messages, Bits, MaxMessageBits)
+// and an identical forest with the fast paths forced off and on, the
+// window relay batched and per-round, and under both schedulers, at
 // parallelism 1 and 8. The reference run is the legacy goroutine scheduler
 // with fast paths off — the engine's plainest definition.
 func TestFastPathEquivalence(t *testing.T) {
@@ -29,7 +30,7 @@ func TestFastPathEquivalence(t *testing.T) {
 		for _, algo := range algos {
 			t.Run(fam+"/"+algo, func(t *testing.T) {
 				base := steinerforest.Spec{Algorithm: algo, Seed: 7, NoCertificate: true}
-				ref, err := steinerforest.Solve(ins, withKnobs(base, true, 1, true))
+				ref, err := steinerforest.Solve(ins, withKnobs(base, true, 1, true, false))
 				if err != nil {
 					t.Fatalf("reference run: %v", err)
 				}
@@ -37,17 +38,19 @@ func TestFastPathEquivalence(t *testing.T) {
 					noFast bool
 					par    int
 					legacy bool
+					noWin  bool
 				}{
-					{false, 1, false}, {false, 8, false}, // continuation × par
-					{true, 1, false}, {true, 8, false}, // continuation, fast off
-					{false, 1, true}, {false, 8, true}, // goroutines, fast on
-					{true, 8, true},
+					{false, 1, false, false}, {false, 8, false, false}, // continuation × par
+					{false, 1, false, true}, {false, 8, false, true}, // window relay per-round
+					{true, 1, false, false}, {true, 8, false, false}, // continuation, fast off
+					{false, 1, true, false}, {false, 8, true, false}, // goroutines, fast on
+					{true, 8, true, false},
 				} {
-					res, err := steinerforest.Solve(ins, withKnobs(base, v.noFast, v.par, v.legacy))
+					res, err := steinerforest.Solve(ins, withKnobs(base, v.noFast, v.par, v.legacy, v.noWin))
 					if err != nil {
-						t.Fatalf("noFast=%v par=%d legacy=%v: %v", v.noFast, v.par, v.legacy, err)
+						t.Fatalf("noFast=%v par=%d legacy=%v noWin=%v: %v", v.noFast, v.par, v.legacy, v.noWin, err)
 					}
-					name := fmt.Sprintf("noFast=%v par=%d legacy=%v", v.noFast, v.par, v.legacy)
+					name := fmt.Sprintf("noFast=%v par=%d legacy=%v noWin=%v", v.noFast, v.par, v.legacy, v.noWin)
 					if a, b := ref.Stats, res.Stats; a.Rounds != b.Rounds ||
 						a.Messages != b.Messages || a.Bits != b.Bits ||
 						a.MaxMessageBits != b.MaxMessageBits ||
@@ -72,9 +75,10 @@ func TestFastPathEquivalence(t *testing.T) {
 	}
 }
 
-func withKnobs(s steinerforest.Spec, noFast bool, par int, legacy bool) steinerforest.Spec {
+func withKnobs(s steinerforest.Spec, noFast bool, par int, legacy, noWin bool) steinerforest.Spec {
 	s.NoFastPath = noFast
 	s.Parallelism = par
 	s.LegacyScheduler = legacy
+	s.NoWindowRelay = noWin
 	return s
 }

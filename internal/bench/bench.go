@@ -77,6 +77,11 @@ func dashes(widths []int) []string {
 // Scale shrinks sweeps for quick runs (1 = full, 2 = half sizes, ...).
 type Scale int
 
+// Large opts the scheduler tables (E2/E3) into their n=2048+ rows
+// (dsfbench -large). Off by default: the committed snapshots are recorded
+// without them, and the snapshot compare requires matching row counts.
+var Large bool
+
 // instance builds a random GNP instance with k pair components.
 func pairInstance(rng *rand.Rand, n, k int, maxW int64, p float64) *steiner.Instance {
 	g := graph.GNP(n, p, graph.RandomWeights(rng, maxW), rng)
@@ -484,7 +489,7 @@ type Experiment struct {
 var Index = []Experiment{
 	{"t1", T1}, {"t1b", T1b}, {"t2", T2}, {"t3", T3}, {"t4", T4},
 	{"t5", T5}, {"t6", T6}, {"f1", F1}, {"a1", A1}, {"e1", E1},
-	{"b1", B1}, {"e2", E2}, {"e3", E3},
+	{"b1", B1}, {"e2", E2}, {"e3", E3}, {"e4", E4},
 }
 
 // All returns every experiment in index order.

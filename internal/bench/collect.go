@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/congest"
+	"steinerforest/internal/dist"
+	"steinerforest/internal/graph"
+	"steinerforest/internal/workload"
+)
+
+// benchItemKind is E4's collect-pipeline item (64-bit value plus the 2-bit
+// envelope header, matching the solver item kinds' accounting style).
+const benchItemKind uint16 = 105
+
+func init() { congest.RegisterWireKind(benchItemKind, 64+2) }
+
+func benchItemCmp(a, b congest.Wire) int {
+	if a.C != b.C {
+		if a.C < b.C {
+			return -1
+		}
+		return 1
+	}
+	if a.A != b.A {
+		if a.A < b.A {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// E4 measures the collect pipelines — the deterministic solver's
+// round-dominant phase — end to end: wire-encoded items flowing through
+// UpcastBroadcast/BroadcastList, with the engine's window relay batching
+// the parked drains, against the same runs with the window forced off
+// (per-round relay processing; the wire encodings are active on both
+// sides). "identical" asserts bit-equal Stats — the window may only change
+// how fast relay-only rounds pass, never what happens in them — and
+// allocs/node-round shows the wire-encoded streams staying off the heap.
+func E4(sc Scale) *Table {
+	tab := &Table{
+		ID:    "E4",
+		Title: "collect pipelines: wire items + window relay vs per-round relays",
+		Claim: "engineering: candidate streams cross the engine unboxed and parked pipeline drains cost one table pass per round, not a full round loop",
+		Header: []string{"workload", "n", "items", "rounds", "ms(win)", "ms(off)",
+			"ns/rnd(win)", "ns/rnd(off)", "speedup", "allocs/node-rnd", "identical"},
+	}
+	shrink := func(n int) int {
+		n /= int(sc)
+		if n < 24 {
+			n = 24
+		}
+		return n
+	}
+	addRow := func(name string, n, items int, run func(noWin bool) (*congest.Stats, error)) {
+		// Untimed warmup: the first run of a workload grows the heap and
+		// pays the GC for both timed runs, which would otherwise bias the
+		// side measured first.
+		if _, err := run(false); err != nil {
+			tab.Notes = append(tab.Notes, name+": "+err.Error())
+			tab.Failed = true
+			return
+		}
+		timed := func(noWin bool) (*congest.Stats, float64, float64, error) {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			stats, err := run(noWin)
+			ms := float64(time.Since(start).Microseconds()) / 1000.0
+			runtime.ReadMemStats(&after)
+			return stats, ms, float64(after.Mallocs - before.Mallocs), err
+		}
+		win, msWin, allocs, err := timed(false)
+		if err != nil {
+			tab.Notes = append(tab.Notes, name+": "+err.Error())
+			tab.Failed = true
+			return
+		}
+		off, msOff, _, err := timed(true)
+		if err != nil {
+			tab.Notes = append(tab.Notes, name+": "+err.Error())
+			tab.Failed = true
+			return
+		}
+		same := win.Rounds == off.Rounds && win.Messages == off.Messages &&
+			win.Bits == off.Bits && win.MaxMessageBits == off.MaxMessageBits &&
+			win.DroppedToTerminated == off.DroppedToTerminated
+		if !same {
+			tab.Failed = true
+		}
+		perRound := func(ms float64) string {
+			return fmt.Sprintf("%.0f", ms*1e6/float64(win.Rounds))
+		}
+		tab.Rows = append(tab.Rows, []string{
+			name, d(n), d(items), d(win.Rounds), f(msWin), f(msOff),
+			perRound(msWin), perRound(msOff), f(msOff / msWin),
+			fmt.Sprintf("%.3f", allocs/float64(win.Rounds)/float64(n)),
+			fmt.Sprintf("%v", same),
+		})
+	}
+
+	// Broadcast drain: a long item list pipelined down a deep path. Once
+	// the root's stream ends, every edge connects two parked stages and
+	// the whole in-flight window drains engine-side.
+	bcastN, bcastItems := shrink(1024), 64
+	pg := graph.Path(bcastN, graph.UnitWeights)
+	addRow("bcast-path", bcastN, bcastItems, func(noWin bool) (*congest.Stats, error) {
+		return congest.Run(pg, func(h *congest.Host) {
+			t := dist.BuildBFS(h)
+			var items []congest.Wire
+			if t.IsRoot() {
+				items = make([]congest.Wire, 0, bcastItems)
+				for j := 0; j < bcastItems; j++ {
+					items = append(items, congest.Wire{Kind: benchItemKind, C: int64(j * 2654435761 % 100003)})
+				}
+			}
+			got := dist.BroadcastList(h, t, items)
+			if len(got) != bcastItems {
+				panic("bench: broadcast lost items")
+			}
+		}, congest.WithWindowRelay(!noWin))
+	})
+
+	// Filtered collection: every node contributes items, the sorted merged
+	// stream is broadcast back — the det solver's candidate-collection
+	// shape, on a deep tree (drain-heavy) and a star (merge-heavy).
+	upcast := func(g *graph.Graph, perNode int) func(noWin bool) (*congest.Stats, error) {
+		return func(noWin bool) (*congest.Stats, error) {
+			return congest.Run(g, func(h *congest.Host) {
+				t := dist.BuildBFS(h)
+				items := make([]congest.Wire, 0, perNode)
+				for j := 0; j < perNode; j++ {
+					items = append(items, congest.Wire{
+						Kind: benchItemKind,
+						A:    uint32(h.ID()),
+						C:    int64((h.ID()*perNode + j) * 2654435761 % 100003),
+					})
+				}
+				got := dist.UpcastBroadcast(h, t, items, benchItemCmp, nil, nil)
+				if len(got) != perNode*h.N() {
+					panic("bench: upcast lost items")
+				}
+			}, congest.WithWindowRelay(!noWin))
+		}
+	}
+	upN := shrink(512)
+	addRow("upcast-path", upN, upN, upcast(graph.Path(upN, graph.UnitWeights), 1))
+	starN := shrink(512)
+	addRow("upcast-star", starN, 4*starN, upcast(graph.Star(starN, graph.UnitWeights), 4))
+
+	// End-to-end det rows: same instances as E2's, so the collect phase's
+	// share of a full solve is visible across tables. The large-t row
+	// (every node a terminal, the MST specialization) is the regime where
+	// candidate streams dominate the round budget.
+	solverRow := func(name string, n, k int, allTerms bool) {
+		n = shrink(n)
+		gen, err := workload.Generate("planted", workload.Params{N: n, K: k, Seed: 9})
+		if err != nil {
+			tab.Notes = append(tab.Notes, name+": "+err.Error())
+			return
+		}
+		ins := gen.Instance
+		items := ins.NumTerminals()
+		if allTerms {
+			ins = steinerforest.NewInstance(ins.G)
+			for v := 0; v < n; v++ {
+				ins.SetComponent(0, v)
+			}
+			items = n
+		}
+		addRow(name, n, items, func(noWin bool) (*congest.Stats, error) {
+			res, err := steinerforest.Solve(ins, steinerforest.Spec{
+				Algorithm: "det", Seed: 5, NoCertificate: true, NoWindowRelay: noWin,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Stats, nil
+		})
+	}
+	solverRow("det", 512, 4, false)
+	solverRow("det-mst", 256, 1, true)
+	tab.Notes = append(tab.Notes,
+		"off = WithWindowRelay(false): relay-only rounds run the full round loop; identical=true pins bit-equal Stats",
+		"allocs/node-rnd is the window run's whole-process malloc count per simulated node-round; collect streams themselves allocate nothing per hop")
+	return tab
+}

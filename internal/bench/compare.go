@@ -19,7 +19,9 @@ type CompareResult struct {
 // weights, ratios, message counts, feasibility flags — is deterministic
 // under the fixed benchmark seeds and must match exactly.
 func timingColumn(tableID, header string) bool {
-	if strings.Contains(header, "ms") || strings.Contains(header, "/s") ||
+	// "ms" must match as a unit, not as a substring — "items" is a
+	// correctness column.
+	if header == "ms" || strings.HasPrefix(header, "ms(") || strings.Contains(header, "/s") ||
 		strings.Contains(header, "ns/") || strings.Contains(header, "allocs") {
 		return true
 	}

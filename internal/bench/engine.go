@@ -185,6 +185,14 @@ func E2(sc Scale) *Table {
 	solverRow("rand", 192, 6)
 	solverRow("trunc", 192, 6)
 	solverRow("khan", 96, 4)
+	if Large {
+		// Opt-in large-scale rows (dsfbench -large): the scheduler's
+		// speedup and the allocs/node-round floor at n = 2048+, cheap to
+		// run now that a parked node costs one coroutine stack. Excluded
+		// from the committed snapshots (the compare needs stable rows).
+		solverRow("det", 2048, 6)
+		solverRow("rand", 2048, 8)
+	}
 	tab.Notes = append(tab.Notes,
 		"fast off = WithFastPath(false): Idle/Sleep/Standby/Relay degrade to per-round exchanges; identical=true pins bit-equal Stats",
 		"allocs/node-rnd is the fast run's whole-process malloc count per simulated node-round (engine + solver + GC noise)")
@@ -306,6 +314,12 @@ func E3(sc Scale) *Table {
 	solverRow("det", 512, 4)
 	solverRow("rand", 192, 6)
 	solverRow("khan", 96, 4)
+	if Large {
+		// Opt-in n=2048 row (dsfbench -large): the continuation-vs-
+		// goroutine gap grows with n, and the goroutine side pays one
+		// stack + two channels per node at this scale.
+		solverRow("det", 2048, 6)
+	}
 	tab.Notes = append(tab.Notes,
 		"goro = WithGoroutines(true): the legacy one-goroutine-per-node channel transport; identical=true pins bit-equal Stats",
 		"ns/node-rnd divides wall time by rounds x n: on solver rows many node-rounds are parked (engine-side), so cross-row values are not comparable — the cont/goro delta within a row is the point")

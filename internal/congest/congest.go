@@ -60,6 +60,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"steinerforest/internal/graph"
 )
@@ -78,12 +79,13 @@ type Send struct {
 	Wire Wire
 }
 
-// Recv is a received message, annotated with the local port it arrived on
-// and the sender's node ID. Wire.Kind != 0 marks a wire-carried payload
-// (Msg is nil in that case).
+// Recv is a received message, annotated with the local port it arrived on;
+// the sender is always the far endpoint of that port, Host.Neighbor(Port).
+// Wire.Kind != 0 marks a wire-carried payload (Msg is nil in that case).
+// The struct is copied for every delivered message and its slots persist
+// per (node, port), so it carries nothing derivable.
 type Recv struct {
 	Port int
-	From int
 	Msg  Message
 	Wire Wire
 }
@@ -134,6 +136,7 @@ type options struct {
 	parallelism int
 	noFastPath  bool
 	goroutines  bool
+	noWindow    bool
 }
 
 // Option configures Run.
@@ -141,7 +144,12 @@ type Option func(*options)
 
 // WithBandwidth sets the per-edge per-round bit budget. A value of 0
 // disables enforcement (the default budget is 32 machine words scaled by
-// log n; see DefaultBandwidth).
+// log n; see DefaultBandwidth). Run validates the budget against the
+// widest fixed-width wire kind in the process-wide registry — every
+// linked protocol package's registrations, not just the kinds this run
+// will send — and fails at setup when the budget cannot carry them; a
+// deliberately tighter budget therefore requires trimming registrations,
+// not just avoiding the wide kinds.
 func WithBandwidth(bits int) Option { return func(o *options) { o.bandwidth = bits } }
 
 // WithMaxRounds overrides the safety cap on rounds (default 2_000_000).
@@ -164,6 +172,19 @@ func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p
 // Exchange(nil) loops; the observable behavior — Stats and delivered
 // messages — is identical either way, which the equivalence tests pin.
 func WithFastPath(on bool) Option { return func(o *options) { o.noFastPath = !on } }
+
+// WithWindowRelay enables (default) or disables the window relay: when a
+// round's only traffic is relay forwards between parked pipeline stages,
+// the engine carries the whole in-flight window of per-edge items round by
+// round in one internal pass — no submission collection, no inbox
+// machinery, no worker dispatch — and resumes the downstream stages once
+// per batch (at the end marker or a deviation) instead of paying the full
+// round loop once per item. The observable behavior — Stats and every
+// delivered message — is identical either way, which the equivalence and
+// stress suites pin; the knob exists for those tests and for perf A/B
+// runs. WithFastPath(false) implies the per-round path (no relay orders
+// exist without the fast paths).
+func WithWindowRelay(on bool) Option { return func(o *options) { o.noWindow = !on } }
 
 // WithGoroutines selects the legacy node transport: one goroutine per node
 // blocking on channels, instead of the default continuation scheduler that
@@ -474,6 +495,47 @@ func (h *Host) Await(kind uint16, expect int) []Recv {
 // dstPorts must be strictly ascending (which also guarantees one send per
 // port per round); both schedulers reject violations by failing the run.
 func (h *Host) Relay(srcPort int, dstPorts []int, endKind uint16) (relayed, last []Recv) {
+	return h.relay(srcPort, dstPorts, endKind, false)
+}
+
+// RelayStream is Relay for a stage whose stream-terminating marker is
+// itself part of the pipeline: the engine consumes a clean endKind arrival
+// like any other item — accumulating it as the stream's final element and
+// forwarding it on dstPorts one round later — and wakes the node only
+// after that final forward (or on arrival when dstPorts is empty), exactly
+// when the loop
+//
+//	var fwd []Send
+//	for {
+//	    in := h.Exchange(fwd)
+//	    fwd = nil
+//	    for _, rc := range in {
+//	        if rc.Port != srcPort {
+//	            return relayed, in // deviation: nothing from in forwarded
+//	        }
+//	    }
+//	    for _, rc := range in {
+//	        for _, p := range dstPorts { fwd = append(fwd, resend(p, rc)) }
+//	        relayed = append(relayed, rc)
+//	        if rc.Wire.Kind == endKind {
+//	            if len(dstPorts) == 0 { return relayed, nil }
+//	            return relayed, h.Exchange(fwd)
+//	        }
+//	    }
+//	}
+//
+// would have returned. relayed therefore ends with the marker on a normal
+// stream end, and last holds only the waking round's extra mail
+// (stragglers during the marker's forward round, or a deviating inbox as
+// in Relay). Because the stage neither wakes nor exchanges per stream
+// element — marker included — an entire pipelined broadcast whose source
+// has gone quiet is relay-only traffic, which the engine's window relay
+// drives in batched internal rounds.
+func (h *Host) RelayStream(srcPort int, dstPorts []int, endKind uint16) (relayed, last []Recv) {
+	return h.relay(srcPort, dstPorts, endKind, true)
+}
+
+func (h *Host) relay(srcPort int, dstPorts []int, endKind uint16, through bool) (relayed, last []Recv) {
 	for i, p := range dstPorts {
 		if p < 0 || (i > 0 && p <= dstPorts[i-1]) {
 			panic(fmt.Sprintf("congest: Relay destination ports %v not ascending", dstPorts))
@@ -486,7 +548,7 @@ func (h *Host) Relay(srcPort int, dstPorts []int, endKind uint16) (relayed, last
 			in := h.Exchange(fwd)
 			fwd = nil
 			for _, rc := range in {
-				if rc.Port != srcPort || rc.Wire.Kind == endKind {
+				if rc.Port != srcPort || (!through && rc.Wire.Kind == endKind) {
 					return acc, in
 				}
 			}
@@ -495,11 +557,17 @@ func (h *Host) Relay(srcPort int, dstPorts []int, endKind uint16) (relayed, last
 					fwd = append(fwd, Send{Port: p, Msg: rc.Msg, Wire: rc.Wire})
 				}
 				acc = append(acc, rc)
+				if through && rc.Wire.Kind == endKind {
+					if len(dstPorts) == 0 {
+						return acc, nil
+					}
+					return acc, h.Exchange(fwd)
+				}
 			}
 		}
 	}
 	in := h.transact(submission{node: h.id, kind: subRelay,
-		ext: &subExt{hbPort: srcPort, relayDst: dstPorts, relayEnd: endKind}})
+		ext: &subExt{hbPort: srcPort, relayDst: dstPorts, relayEnd: endKind, relayThrough: through}})
 	h.round = h.wokeRound
 	cut := len(in) - h.relayLastN
 	return in[:cut], in[cut:]
@@ -547,15 +615,16 @@ type subExt struct {
 	hbMask    uint64 // subStand: ramp-up beat mask
 	hbMaskLen int    // subStand: number of masked heartbeat rounds
 	hbWait    bool   // subStand: waiting order (no beats; wake on full count)
-	relayDst  []int  // subRelay: forwarding ports, ascending
-	relayEnd  uint16 // subRelay: stream-terminating wire kind
+	relayDst     []int  // subRelay: forwarding ports, ascending
+	relayEnd     uint16 // subRelay: stream-terminating wire kind
+	relayThrough bool   // subRelay: forward the end marker too (RelayStream)
 }
 
 // routed is a validated message en route to its destination shard.
 type routed struct {
-	dst, dstPort, from int32
-	msg                Message
-	wire               Wire
+	dst, dstPort int32
+	msg          Message
+	wire         Wire
 }
 
 // nodeMode is a node's scheduler state. Every live node is either runnable
@@ -600,16 +669,32 @@ type relayDest struct {
 
 // relaying is a parked node's pipeline-stage order: the engine forwards
 // each clean srcPort arrival to dsts one round later and accumulates the
-// stream in buf until the end kind or a deviating inbox wakes the node.
+// stream in buf until the node wakes — on a deviating inbox, on the end
+// kind's arrival (plain Relay), or one round later when the end marker has
+// itself been forwarded (through orders, Host.RelayStream).
 type relaying struct {
-	srcPort  int32
-	endKind  uint16
-	hasPend  bool
-	pendBits int32
-	pendMsg  Message
-	pendWire Wire
-	dsts     []relayDest
-	buf      []Recv
+	srcPort   int32
+	endKind   uint16
+	through   bool // RelayStream: the end marker is forwarded, then wake
+	hasPend   bool
+	finalPend bool // the pending forward is the end marker (through only)
+	finalSent bool // the end marker went out this round: wake at round end
+	pendBits  int32
+	pendMsg   Message
+	pendWire  Wire
+	dsts      []relayDest
+	buf       []Recv
+}
+
+// winFwd is one round's worth of a relay's pending forward, snapshotted by
+// the window relay's scan pass so chained stages can hand items to each
+// other within one batched round without ordering hazards.
+type winFwd struct {
+	v     int32
+	final bool // the forward is a through order's end marker: wake v after
+	bits  int32
+	msg   Message
+	wire  Wire
 }
 
 // wakeEntry schedules a parked node's deadline wake-up. Entries are lazily
@@ -694,10 +779,19 @@ type engine struct {
 	standers  []int32    // nodes currently in modeStand
 	emitters  int        // standers with a beating (non-waiting) order
 	relays    []relaying // per node: relay order (valid when modeRelay)
-	relayers  []int32    // nodes currently in modeRelay
 	relPend   int        // relayers holding a forward due next round
+	pendList  []int32    // those relayers, in staging order (= relPend entries)
+	pendFree  []int32    // spare buffer pendList rotates through per round
+	hitRelay  []int32    // relayers delivered to this round, plus final-forward
+	//                      completions — the only ones checkRelayers must visit
 	runnable  int        // live nodes that will submit this round
 	live      int
+
+	window   bool     // window relay enabled (fast path on, not opted out)
+	winGen   uint32   // per-batched-round stamp for multi-delivery detection
+	winStamp []uint32 // stamped when a batched round already delivers to a node
+	winEmit  []winFwd // reusable snapshot of one batched round's forwards
+	winWake  []int32  // reusable list of stages completed by a batched round
 
 	subs      []submission // this round's submission, indexed by node
 	shardSubs [][]int32    // per shard: nodes that exchanged this round
@@ -731,6 +825,14 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	}
 	if o.bandwidth == 0 {
 		o.bandwidth = DefaultBandwidth(g.N())
+	}
+	// Validate the budget against the registered wire kinds up front: a
+	// protocol whose fixed-shape messages cannot fit the budget would
+	// otherwise fail deep into the run, at the first send of the widest
+	// kind. (Payload-dependent kinds are still checked per message.)
+	if kind, bits := widestWireKind(); bits > o.bandwidth {
+		return nil, fmt.Errorf("%w: bandwidth %d bits is below the widest registered wire kind %d (%d bits); raise the budget to at least %d",
+			ErrBandwidth, o.bandwidth, kind, bits, bits)
 	}
 	n := g.N()
 	stats := &Stats{}
@@ -786,6 +888,8 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		tGen:       make([]uint32, n),
 		outBuf:     make([][]Recv, n),
 		gen:        1,
+		window:     !o.noWindow && !o.noFastPath,
+		winStamp:   make([]uint32, n),
 		returnPort: make([][]int32, n),
 		shardOf:    make([]int32, n),
 		buckets:    make([][]routed, p),
@@ -973,7 +1077,10 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 				rl := &e.relays[v]
 				rl.srcPort = int32(x.hbPort)
 				rl.endKind = x.relayEnd
+				rl.through = x.relayThrough
 				rl.hasPend = false
+				rl.finalPend = false
+				rl.finalSent = false
 				rl.buf = nil // the previous buffer was handed to the node
 				rl.dsts = rl.dsts[:0]
 				prev := -1
@@ -991,7 +1098,6 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 				e.runnable--
 				e.mode[v] = modeRelay
 				e.parkStamp[v]++
-				e.relayers = append(e.relayers, int32(v))
 			default:
 				e.subs[s.node] = s
 				sh := e.shardOf[s.node]
@@ -1028,6 +1134,21 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		}
 		if stats.Rounds >= o.maxRounds {
 			return fail(fmt.Errorf("%w (%d)", ErrRoundLimit, o.maxRounds))
+		}
+		if exch == 0 && e.relPend > 0 && e.emitters == 0 && e.window {
+			// Relay-only rounds: every message this round is a forward
+			// between parked pipeline stages. Drive the whole window of
+			// in-flight items engine-side, one internal pass per round,
+			// until something deviates (an end marker, a sleeper, a wake
+			// deadline) — that round, untouched, falls through to the
+			// normal path below on the next loop iteration.
+			done, err := e.relayWindow()
+			if err != nil {
+				return fail(err)
+			}
+			if done > 0 {
+				continue
+			}
 		}
 		if beating {
 			e.emitRelays()
@@ -1072,17 +1193,33 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 					if b > o.bandwidth {
 						return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, v))
 					}
-					e.deliver(v, h.ports[snd.Port].To, int(e.returnPort[v][snd.Port]),
-						h.ports[snd.Port].Index, b, snd.Msg, snd.Wire)
+					e.deliver(h.ports[snd.Port].To, int(e.returnPort[v][snd.Port]),
+						h.ports[snd.Port].Index, b, snd.Msg, &snd.Wire)
 				}
 			}
 		}
 		stats.Rounds++
 		// Sharded placement + delivery; shard 0 runs on this goroutine.
+		// Workers whose shard has nothing this round — no placements, no
+		// exchanging nodes, no woken sleepers — are not signaled at all:
+		// through a deep sparse phase an idle shard's worker sits on its
+		// start channel across the whole stretch instead of paying two
+		// channel operations per round, which is what makes p > 1 cheap
+		// on the paper's mostly-quiet round structure.
 		if p > 1 {
-			e.wg.Add(p - 1)
+			busy := 0
 			for w := 1; w < p; w++ {
-				e.start[w] <- struct{}{}
+				if e.shardBusy(w) {
+					busy++
+				}
+			}
+			if busy > 0 {
+				e.wg.Add(busy)
+				for w := 1; w < p; w++ {
+					if e.shardBusy(w) {
+						e.start[w] <- struct{}{}
+					}
+				}
 			}
 		}
 		e.runShard(0)
@@ -1133,7 +1270,7 @@ func (e *engine) emitHeartbeats() {
 		if i := (stats.Rounds - st.beatBase) / 2; i < int(st.maskLen) && st.mask>>uint(i)&1 == 0 {
 			continue // masked-out ramp-up heartbeat: this slot stays silent
 		}
-		e.deliver(v, int(st.dst), int(st.dstPort), int(st.edge), int(st.bits), nil, st.wire)
+		e.deliver(int(st.dst), int(st.dstPort), int(st.edge), int(st.bits), nil, &st.wire)
 	}
 }
 
@@ -1144,7 +1281,7 @@ func (e *engine) emitHeartbeats() {
 // when serial, via the destination shard's bucket otherwise). Every
 // delivery path — node sends, standing-order heartbeats, relay forwards —
 // funnels through here so the accounting can never diverge between them.
-func (e *engine) deliver(from, dst, dstPort, edge, bits int, msg Message, wire Wire) {
+func (e *engine) deliver(dst, dstPort, edge, bits int, msg Message, wire *Wire) {
 	stats := e.stats
 	stats.Messages++
 	stats.Bits += int64(bits)
@@ -1164,14 +1301,19 @@ func (e *engine) deliver(from, dst, dstPort, edge, bits int, msg Message, wire W
 		e.mode[dst] = modeRun
 		e.parkStamp[dst]++
 		e.woken[e.shardOf[dst]] = append(e.woken[e.shardOf[dst]], int32(dst))
+	case modeRelay:
+		// Queue the stage for checkRelayers: only hit stages are visited,
+		// so a deep chain of parked relays costs nothing per round beyond
+		// its actual traffic. (Duplicate hits are fine — a woken node is
+		// skipped by its mode.)
+		e.hitRelay = append(e.hitRelay, int32(dst))
 	}
 	if e.o.parallelism == 1 {
-		e.place(dst, dstPort, from, msg, wire)
+		e.place(dst, dstPort, msg, wire)
 	} else {
 		sh := e.shardOf[dst]
 		e.buckets[sh] = append(e.buckets[sh], routed{
-			dst: int32(dst), dstPort: int32(dstPort), from: int32(from),
-			msg: msg, wire: wire,
+			dst: int32(dst), dstPort: int32(dstPort), msg: msg, wire: *wire,
 		})
 	}
 }
@@ -1192,14 +1334,18 @@ func (e *engine) wakeRun(v int, wokeRound int, in []Recv) {
 	e.hosts[v].reply <- in
 }
 
-// emitRelays performs the relay orders' forwards due this round: each
-// pending item picked up last round goes out to every forwarding target,
-// accounted as if the parked node had sent the copies itself.
+// emitRelays performs the relay orders' forwards due this round — the
+// pends staged last round, consumed from the staging-order list so the
+// cost is proportional to the in-flight window, not to the number of
+// parked stages. New pends staged later this round land in the rotated-in
+// empty list.
 func (e *engine) emitRelays() {
 	if e.relPend == 0 {
 		return
 	}
-	for _, v32 := range e.relayers {
+	due := e.pendList
+	e.pendList, e.pendFree = e.pendFree[:0], due
+	for _, v32 := range due {
 		v := int(v32)
 		rl := &e.relays[v]
 		if !rl.hasPend {
@@ -1209,33 +1355,202 @@ func (e *engine) emitRelays() {
 		e.relPend--
 		for i := range rl.dsts {
 			d := &rl.dsts[i]
-			e.deliver(v, int(d.dst), int(d.dstPort), int(d.edge), int(rl.pendBits), rl.pendMsg, rl.pendWire)
+			e.deliver(int(d.dst), int(d.dstPort), int(d.edge), int(rl.pendBits), rl.pendMsg, &rl.pendWire)
 		}
 		rl.pendMsg = nil
+		if rl.finalPend {
+			// A through order's end marker went out: the node wakes at the
+			// end of this round, its stream complete; put it in front of
+			// checkRelayers even if the forward round delivers it nothing.
+			rl.finalPend = false
+			rl.finalSent = true
+			e.hitRelay = append(e.hitRelay, v32)
+		}
 	}
 }
 
+// shardBusy reports whether shard w has any work this round: routed
+// placements, exchanging nodes awaiting their inboxes, or sleepers woken
+// by this round's mail.
+func (e *engine) shardBusy(w int) bool {
+	return len(e.buckets[w]) > 0 || len(e.shardSubs[w]) > 0 || len(e.woken[w]) > 0
+}
+
+// relayWindow drives rounds in which the only traffic is relay forwards
+// between parked pipeline stages — the drain of a pipelined broadcast,
+// where every tree edge connects two parked stages. Each such round is a
+// pure table pass: the window's in-flight items advance one stage, each
+// hop accounted exactly as the per-round path would (messages, bits,
+// maxima, per-edge counters, drops), items landing on a downstream relay
+// are placed straight into its accumulation buffer, and none of the round
+// machinery runs — no submission collection, no inbox assembly, no worker
+// dispatch, no generation bump. A stage is resumed once per batch — when
+// its through order's end marker has been forwarded, or by the deviating
+// round that ends the window — instead of once per item.
+//
+// The window ends — with the pending round left untouched for the normal
+// path — as soon as a forward would do anything a parked stage cannot
+// absorb silently: reach a sleeper or a standing order, arrive off the
+// destination's source port, carry a plain (non-through) destination's end
+// kind, or collide with a second delivery. (Heartbeat emitters are checked
+// by the caller and cannot appear mid-window.) A node waking inside the
+// window — a through stage completing its stream, or an idle deadline
+// firing — ends it after that round, since the woken node submits next
+// round. Returns the number of rounds performed.
+func (e *engine) relayWindow() (int, error) {
+	done := 0
+	stats := e.stats
+	for e.relPend > 0 {
+		if stats.Rounds >= e.o.maxRounds {
+			return done, fmt.Errorf("%w (%d)", ErrRoundLimit, e.o.maxRounds)
+		}
+		// Scan pass: snapshot this round's forwards and check that every
+		// delivery lands cleanly on a parked stage. No engine state is
+		// mutated, so a dirty round is simply handed back to the caller.
+		e.winGen++
+		emit := e.winEmit[:0]
+		clean := true
+	scan:
+		for _, v32 := range e.pendList {
+			rl := &e.relays[v32]
+			if !rl.hasPend {
+				continue
+			}
+			for i := range rl.dsts {
+				d := rl.dsts[i].dst
+				switch e.mode[d] {
+				case modeDone, modeIdle:
+					// Dropped or discarded unread: always silent.
+				case modeRelay:
+					dl := &e.relays[d]
+					if rl.dsts[i].dstPort != dl.srcPort || e.winStamp[d] == e.winGen ||
+						(rl.pendWire.Kind == dl.endKind && !dl.through) {
+						clean = false
+						break scan
+					}
+					e.winStamp[d] = e.winGen
+				default:
+					// A sleeper, a standing order, or (impossibly here) a
+					// runnable node: the delivery would wake or deviate it.
+					clean = false
+					break scan
+				}
+			}
+			emit = append(emit, winFwd{v: v32, final: rl.finalPend, bits: rl.pendBits, msg: rl.pendMsg, wire: rl.pendWire})
+		}
+		e.winEmit = emit
+		if !clean {
+			break
+		}
+		before := e.runnable
+		// Apply pass. All sends of the round are retired first — and the
+		// due list rotated out — so that a stage both forwarding and
+		// receiving within the round (a full pipeline chain) stages its
+		// next item without clobbering the current one. Stages completed
+		// by the round — a final forward emitted, or an end marker
+		// arriving with nothing to forward — are woken after the round
+		// counter advances, exactly when checkRelayers would have woken
+		// them.
+		e.pendList, e.pendFree = e.pendFree[:0], e.pendList
+		wake := e.winWake[:0]
+		for i := range emit {
+			rl := &e.relays[emit[i].v]
+			rl.hasPend = false
+			rl.finalPend = false
+			rl.pendMsg = nil
+			e.relPend--
+			if emit[i].final {
+				wake = append(wake, emit[i].v)
+			}
+		}
+		for i := range emit {
+			wf := &emit[i]
+			rl := &e.relays[wf.v]
+			bits := int64(wf.bits)
+			for j := range rl.dsts {
+				dst := &rl.dsts[j]
+				stats.Messages++
+				stats.Bits += bits
+				if int(wf.bits) > stats.MaxMessageBits {
+					stats.MaxMessageBits = int(wf.bits)
+				}
+				if stats.EdgeBits != nil {
+					stats.EdgeBits[dst.edge] += bits
+				}
+				switch e.mode[dst.dst] {
+				case modeDone:
+					stats.DroppedToTerminated++
+				case modeIdle:
+					// Discarded unread.
+				default: // modeRelay, clean by the scan pass
+					dl := &e.relays[dst.dst]
+					dl.buf = append(dl.buf, Recv{Port: int(dl.srcPort), Msg: wf.msg, Wire: wf.wire})
+					isEnd := wf.wire.Kind == dl.endKind // through, by the scan pass
+					if len(dl.dsts) > 0 {
+						dl.pendBits = wf.bits
+						dl.pendMsg, dl.pendWire = wf.msg, wf.wire
+						dl.hasPend = true
+						dl.finalPend = isEnd
+						e.relPend++
+						e.pendList = append(e.pendList, dst.dst)
+					} else if isEnd {
+						wake = append(wake, dst.dst)
+					}
+				}
+			}
+			wf.msg = nil // drop the scratch reference for the GC
+		}
+		e.winWake = wake
+		stats.Rounds++
+		done++
+		for _, v32 := range wake {
+			v := int(v32)
+			rl := &e.relays[v]
+			out := rl.buf
+			rl.buf = nil
+			e.hosts[v].relayLastN = 0
+			e.wakeRun(v, stats.Rounds, out)
+		}
+		// Deadline wake-ups are processed exactly as the normal round end
+		// would; any node woken this round submits next round, ending the
+		// window.
+		e.wakeDue(stats.Rounds)
+		if e.runnable > before {
+			break
+		}
+	}
+	windowRounds.Add(int64(done))
+	return done, nil
+}
+
+
+// windowRounds counts rounds driven by the window relay across all runs —
+// a test-only observability hook (see TestRelayWindowDrain).
+var windowRounds atomic.Int64
+
 // checkRelayers advances every relaying node after a round: a clean
-// arrival (one message, on the source port, not the end kind) is
-// accumulated and scheduled for forwarding next round; the end kind or any
-// other inbox wakes the node with the accumulated stream plus the waking
-// round's inbox.
+// arrival (one message, on the source port, not a waking end kind) is
+// accumulated and scheduled for forwarding next round; a deviating inbox —
+// or, for plain orders, the end kind — wakes the node with the accumulated
+// stream plus the waking round's inbox. A through order whose end marker
+// was emitted this round (finalSent) wakes with its complete stream plus
+// whatever stray mail the forward round delivered.
 func (e *engine) checkRelayers() {
 	gen := e.gen
-	for i := 0; i < len(e.relayers); {
-		v := int(e.relayers[i])
+	for _, v32 := range e.hitRelay {
+		v := int(v32)
+		if e.mode[v] != modeRelay {
+			continue // woken by an earlier duplicate hit this round
+		}
 		rl := &e.relays[v]
 		var touched []int32
 		if e.tGen[v] == gen {
 			touched = e.touched[v]
 		}
-		if len(touched) == 0 {
-			i++
-			continue
-		}
-		if len(touched) == 1 && touched[0] == rl.srcPort {
+		if len(touched) == 1 && touched[0] == rl.srcPort && !rl.finalSent {
 			rc := e.slots[v][rl.srcPort]
-			if rc.Wire.Kind != rl.endKind {
+			isEnd := rc.Wire.Kind == rl.endKind
+			if !isEnd || rl.through {
 				rl.buf = append(rl.buf, rc)
 				if len(rl.dsts) > 0 {
 					var b int
@@ -1247,14 +1562,27 @@ func (e *engine) checkRelayers() {
 					rl.pendBits = int32(b)
 					rl.pendMsg, rl.pendWire = rc.Msg, rc.Wire
 					rl.hasPend = true
+					rl.finalPend = isEnd
 					e.relPend++
+					e.pendList = append(e.pendList, v32)
+					continue
 				}
-				i++
+				if !isEnd {
+					continue
+				}
+				// Through order with nothing to forward: the stream is
+				// complete on arrival; wake with it and no extra mail.
+				out := rl.buf
+				rl.buf = nil
+				e.hosts[v].relayLastN = 0
+				e.wakeRun(v, e.stats.Rounds, out)
 				continue
 			}
 		}
-		// Deviation or end of stream: hand over the accumulated messages
-		// plus this round's inbox, ownership of the buffer included.
+		// Deviation, a plain order's end of stream, or a through order's
+		// completed final forward: hand over the accumulated messages plus
+		// this round's inbox, ownership of the buffer included.
+		rl.finalSent = false
 		final := e.inbox(v)
 		out := append(rl.buf, final...)
 		rl.buf = nil
@@ -1262,15 +1590,14 @@ func (e *engine) checkRelayers() {
 			// Unreachable (a pend set last round was emitted before this
 			// round's check), kept as defensive bookkeeping.
 			rl.hasPend = false
+			rl.finalPend = false
 			e.relPend--
 			rl.pendMsg = nil
 		}
-		last := len(e.relayers) - 1
-		e.relayers[i] = e.relayers[last]
-		e.relayers = e.relayers[:last]
 		e.hosts[v].relayLastN = len(final)
 		e.wakeRun(v, e.stats.Rounds, out)
 	}
+	e.hitRelay = e.hitRelay[:0]
 }
 
 // checkStanders wakes every standing node whose inbox deviated from its
@@ -1356,12 +1683,12 @@ func (e *engine) wakeValid(w wakeEntry) bool {
 }
 
 // place stores one message in its destination's inbox slot.
-func (e *engine) place(dst, dstPort, from int, msg Message, wire Wire) {
+func (e *engine) place(dst, dstPort int, msg Message, wire *Wire) {
 	if e.tGen[dst] != e.gen {
 		e.tGen[dst] = e.gen
 		e.touched[dst] = e.touched[dst][:0]
 	}
-	e.slots[dst][dstPort] = Recv{Port: dstPort, From: from, Msg: msg, Wire: wire}
+	e.slots[dst][dstPort] = Recv{Port: dstPort, Msg: msg, Wire: *wire}
 	e.slotGen[dst][dstPort] = e.gen
 	e.touched[dst] = append(e.touched[dst], int32(dstPort))
 }
@@ -1407,7 +1734,7 @@ func (e *engine) inbox(v int) []Recv {
 // touch disjoint state.
 func (e *engine) runShard(w int) {
 	for _, rt := range e.buckets[w] {
-		e.place(int(rt.dst), int(rt.dstPort), int(rt.from), rt.msg, rt.wire)
+		e.place(int(rt.dst), int(rt.dstPort), rt.msg, &rt.wire)
 	}
 	cur := e.stats.Rounds
 	if e.coro {

@@ -89,7 +89,7 @@ func TestDeliveredContentAcrossParallelism(t *testing.T) {
 					}
 				}
 				for _, rc := range h.Exchange(out) {
-					acc = acc*31 + rc.Msg.(testMsg).val + int64(rc.Port) + int64(rc.From)
+					acc = acc*31 + rc.Msg.(testMsg).val + int64(rc.Port) + int64(h.Neighbor(rc.Port))
 					acc %= 1_000_000_007
 				}
 			}
@@ -264,4 +264,53 @@ func BenchmarkEngineFloodParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchDrain builds the window relay's target shape: a deep chain of
+// parked RelayStream stages draining a stream whose source has gone quiet.
+func benchDrain(b *testing.B, hops, items int, opts ...Option) {
+	b.Helper()
+	g := graph.Path(hops, graph.UnitWeights)
+	exitRound := items + hops
+	program := func(h *Host) {
+		if h.ID() == 0 {
+			for v := 0; v < items; v++ {
+				h.Exchange([]Send{{Port: 0, Wire: Wire{Kind: benchWire, C: int64(v)}}})
+			}
+			h.Exchange([]Send{{Port: 0, Wire: Wire{Kind: benchEndWire}}})
+			h.Idle(exitRound - h.Round())
+			return
+		}
+		var dst []int
+		if h.ID() < hops-1 {
+			dst = []int{1}
+		}
+		src, _ := h.PortOf(h.ID() - 1)
+		stream, _ := h.RelayStream(src, dst, benchEndWire)
+		if len(stream) != items+1 {
+			panic("drain lost items")
+		}
+		h.Idle(exitRound - h.Round())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, program, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const (
+	benchWire    uint16 = 115
+	benchEndWire uint16 = 116
+)
+
+func init() {
+	RegisterWireKind(benchWire, 64)
+	RegisterWireKind(benchEndWire, 2)
+}
+
+func BenchmarkRelayDrainWindow(b *testing.B)  { benchDrain(b, 1024, 64) }
+func BenchmarkRelayDrainPerRound(b *testing.B) {
+	benchDrain(b, 1024, 64, WithWindowRelay(false))
 }

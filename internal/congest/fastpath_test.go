@@ -23,12 +23,20 @@ func init() {
 	RegisterWireKind(testWireEnd, 2)
 }
 
-// both runs a program under both schedulers and requires identical Stats.
+// both runs a program with the fast paths on (window relay batched and
+// per-round) and off, requiring identical Stats everywhere.
 func both(t *testing.T, g *graph.Graph, program Program, opts ...Option) *Stats {
 	t.Helper()
 	fast, err := Run(g, program, opts...)
 	if err != nil {
 		t.Fatalf("fast: %v", err)
+	}
+	nowin, err := Run(g, program, append(opts, WithWindowRelay(false))...)
+	if err != nil {
+		t.Fatalf("no-window: %v", err)
+	}
+	if !statsEqual(fast, nowin) {
+		t.Fatalf("window relay changed the run: %+v vs %+v", fast, nowin)
 	}
 	slow, err := Run(g, program, append(opts, WithFastPath(false))...)
 	if err != nil {
@@ -51,7 +59,7 @@ func TestSleepWakesOnMessage(t *testing.T) {
 			return
 		}
 		in := h.Sleep()
-		if len(in) != 1 || in[0].Wire.C != 42 || in[0].From != 0 {
+		if len(in) != 1 || in[0].Wire.C != 42 || h.Neighbor(in[0].Port) != 0 {
 			panic("wrong wake inbox")
 		}
 		if h.Round() != 8 {
@@ -130,6 +138,25 @@ func TestWireBitsAccounting(t *testing.T) {
 	}
 }
 
+// TestBandwidthValidatedAtSetup: a budget below the widest registered
+// fixed-width wire kind fails Run immediately with a clear error, instead
+// of erroring (or worse) deep into the protocol at the first wide send.
+func TestBandwidthValidatedAtSetup(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	ran := false
+	_, err := Run(g, func(h *Host) { ran = true }, WithBandwidth(4))
+	if !errors.Is(err, ErrBandwidth) || err == nil || !strings.Contains(err.Error(), "widest registered wire kind") {
+		t.Fatalf("setup validation: %v", err)
+	}
+	if ran {
+		t.Fatal("programs ran despite an unusable bandwidth budget")
+	}
+	// A budget that fits every registered kind passes setup (and the run).
+	if _, err := Run(g, func(h *Host) {}, WithBandwidth(256)); err != nil {
+		t.Fatalf("valid budget rejected: %v", err)
+	}
+}
+
 // TestWireSendValidation: unregistered kinds and ambiguous sends fail.
 func TestWireSendValidation(t *testing.T) {
 	g := graph.Path(2, graph.UnitWeights)
@@ -181,7 +208,7 @@ func TestStandbyHeartbeat(t *testing.T) {
 		case 1:
 			in := h.Standby(0, beat, 1, 0, 0)
 			// Woken by the payload from 0 in an off round.
-			if len(in) != 1 || in[0].Wire.Kind != testWireRelay || in[0].From != 0 {
+			if len(in) != 1 || in[0].Wire.Kind != testWireRelay || h.Neighbor(in[0].Port) != 0 {
 				panic("middle woke on the wrong inbox")
 			}
 			// Pass the wake downstream in the next off round.
@@ -324,6 +351,101 @@ func TestRelayPipeline(t *testing.T) {
 	}
 }
 
+// TestRelayWindowDrain: once the stream source goes quiet, the in-flight
+// window drains through a chain of parked relays — the regime the engine
+// batches into internal relay-only rounds. The three variants pin the
+// window's exits: a clean drain to the end marker, a sleeper at the chain's
+// end whose wake dirties every round mid-stream, and an idle deadline
+// firing inside the window. Stats must be identical with the window relay
+// on, off, and with the fast paths off entirely (via both).
+func TestRelayWindowDrain(t *testing.T) {
+	const hops = 12
+	items := make([]int64, 8)
+	for i := range items {
+		items[i] = int64(3*i + 1)
+	}
+	g := graph.Path(hops, graph.UnitWeights)
+	streamEnd := len(items) + 1 // round after node 0's end marker
+	exitRound := len(items) + hops - 1
+
+	chain := func(h *Host, lastSleeps, rootNaps bool) {
+		switch {
+		case h.ID() == 0:
+			for _, v := range items {
+				h.Exchange([]Send{{Port: 0, Wire: Wire{Kind: testWireRelay, C: v}}})
+			}
+			h.Exchange([]Send{{Port: 0, Wire: Wire{Kind: testWireEnd}}})
+			if rootNaps {
+				// One-round naps: every drain round ends with a deadline
+				// wake, so the window breaks after each internal round.
+				for h.Round() < exitRound {
+					h.Idle(1)
+				}
+			} else {
+				h.Idle(exitRound - h.Round())
+			}
+		case h.ID() == hops-1 && lastSleeps:
+			// The chain's end consumes the stream awake: every arrival is
+			// a sleeper wake, dirtying the window mid-stream.
+			got := 0
+			for got <= len(items) {
+				got += len(h.Sleep())
+			}
+			h.Idle(exitRound - h.Round())
+		default:
+			var dst []int
+			if h.ID() < hops-1 {
+				dst = []int{1}
+			}
+			src, _ := h.PortOf(h.ID() - 1)
+			stream, last := h.RelayStream(src, dst, testWireEnd)
+			if len(stream) != len(items)+1 || stream[len(stream)-1].Wire.Kind != testWireEnd {
+				panic("window drain lost the stream")
+			}
+			for i, rc := range stream[:len(items)] {
+				if rc.Wire.C != items[i] {
+					panic("window drain reordered items")
+				}
+			}
+			if len(last) != 0 {
+				panic("unexpected straggler mail")
+			}
+			// Interior stages wake in the round of their end-marker
+			// forward; the chain's end on its arrival round.
+			wantRound := streamEnd + h.ID()
+			if h.ID() == hops-1 {
+				wantRound--
+			}
+			if h.Round() != wantRound {
+				panic("window drain latency wrong")
+			}
+			h.Idle(exitRound - h.Round())
+		}
+	}
+	for _, v := range []struct {
+		name                 string
+		lastSleeps, rootNaps bool
+	}{
+		{"clean", false, false},
+		{"sleeper-end", true, false},
+		{"deadline-breaks", false, true},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			winBefore := windowRounds.Load()
+			stats := both(t, g, func(h *Host) { chain(h, v.lastSleeps, v.rootNaps) })
+			if stats.Messages != int64((len(items)+1)*(hops-1)) {
+				t.Fatalf("stats = %+v", stats)
+			}
+			if stats.Rounds != exitRound {
+				t.Fatalf("rounds = %d, want %d", stats.Rounds, exitRound)
+			}
+			if !v.lastSleeps && windowRounds.Load() == winBefore {
+				t.Fatal("window relay never engaged on a pure drain")
+			}
+		})
+	}
+}
+
 // TestRelayDeviation: mail off the source port wakes the relay with the
 // clean prefix split from the deviating inbox.
 func TestRelayDeviation(t *testing.T) {
@@ -341,7 +463,7 @@ func TestRelayDeviation(t *testing.T) {
 				panic("clean prefix wrong")
 			}
 			// Deviating round: item 2 from node 0 plus the poke from 2.
-			if len(last) != 2 || last[0].Wire.C != 2 || last[1].From != 2 {
+			if len(last) != 2 || last[0].Wire.C != 2 || h.Neighbor(last[1].Port) != 2 {
 				panic("deviating inbox wrong")
 			}
 			h.Idle(1)

@@ -33,7 +33,7 @@ func stressProgram(trace []uint64, steps int, seed int64) Program {
 		record := func(in []Recv) {
 			fold(uint64(h.Round()))
 			for _, rc := range in {
-				fold(uint64(rc.Port)<<40 ^ uint64(rc.From)<<20 ^ uint64(rc.Wire.C))
+				fold(uint64(rc.Port)<<40 ^ uint64(h.Neighbor(rc.Port))<<20 ^ uint64(rc.Wire.C))
 			}
 		}
 		deg := h.Degree()
@@ -77,6 +77,8 @@ var stressConfigs = []struct {
 }{
 	{"cont/fast/p1", nil},
 	{"cont/fast/p8", []Option{WithParallelism(8)}},
+	{"cont/fast/nowin/p1", []Option{WithWindowRelay(false)}},
+	{"cont/fast/nowin/p8", []Option{WithWindowRelay(false), WithParallelism(8)}},
 	{"cont/nofast/p1", []Option{WithFastPath(false)}},
 	{"cont/nofast/p8", []Option{WithFastPath(false), WithParallelism(8)}},
 	{"goro/fast/p1", []Option{WithGoroutines(true)}},
@@ -147,7 +149,7 @@ func TestSchedulerStressStandingOrders(t *testing.T) {
 				fold := func(in []Recv) {
 					acc = acc*31 + uint64(h.Round())
 					for _, rc := range in {
-						acc = acc*1099511628211 ^ uint64(rc.Port)<<32 ^ uint64(rc.From)<<16 ^ uint64(rc.Wire.C)
+						acc = acc*1099511628211 ^ uint64(rc.Port)<<32 ^ uint64(h.Neighbor(rc.Port))<<16 ^ uint64(rc.Wire.C)
 					}
 				}
 				if h.ID() == 0 {

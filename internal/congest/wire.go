@@ -8,11 +8,13 @@ import "fmt"
 // offers — cross the engine without the heap allocation that boxing a
 // struct into the Message interface would cost.
 //
-// The three payload slots are deliberately asymmetric: A and B hold node
-// ids, ports, labels or denominator exponents (anything that fits 32
-// bits), C holds the one wide value (a weight, a distance numerator, a
-// packed pair of labels). Protocols needing more than that keep using the
-// Message interface.
+// The payload slots are deliberately asymmetric: A and B hold node ids,
+// ports, labels or denominator exponents (anything that fits 32 bits), C
+// holds the one wide value (a weight numerator, a distance, a rank), and D
+// holds a second wide value — typically a packed pair of 32-bit node ids,
+// which is what lets the collect pipelines' candidate items (a dyadic
+// weight plus an inducing edge plus a terminal pair) travel inline.
+// Protocols needing more than that keep using the Message interface.
 //
 // Every Kind must be registered before use (RegisterWireKind /
 // RegisterWireKindFunc); its entry in the width table defines Bits().
@@ -22,12 +24,13 @@ import "fmt"
 //	 1-15   internal/dist (primitive control plane)
 //	16-23   internal/detforest
 //	24-31   internal/randforest
-//	32-63   reserved for future protocol packages
-//	100+    tests
+//	32-39   internal/embed
+//	40-63   reserved for future protocol packages
+//	100+    tests and benchmarks
 type Wire struct {
 	Kind uint16
 	A, B uint32
-	C    int64
+	C, D int64
 }
 
 // maxWireKinds bounds the kind space; the width table is a flat array so
@@ -78,6 +81,22 @@ func (w Wire) Bits() int {
 		return b
 	}
 	panic(fmt.Sprintf("congest: wire kind %d not registered", w.Kind))
+}
+
+// widestWireKind returns the widest registered fixed-width kind and its
+// width. Run validates the bandwidth budget against it at setup, so a
+// protocol whose registered messages cannot fit the budget fails
+// immediately with a clear error instead of deep into the run. Kinds with
+// payload-dependent widths cannot be pre-validated; they are still checked
+// per message.
+func widestWireKind() (uint16, int) {
+	kind, bits := uint16(0), 0
+	for k := 1; k < maxWireKinds; k++ {
+		if b := int(wireFixed[k]); b > bits {
+			kind, bits = uint16(k), b
+		}
+	}
+	return kind, bits
 }
 
 // wireBits is the engine-side lookup; the engine turns a false return into

@@ -21,6 +21,13 @@
 //     and mark its physical edges by walking tokens up the region trees
 //     (Step 5 of the algorithm in Appendix E.1).
 //
+// Every protocol message of the hot phases — terminal announcements,
+// candidate merges, coverage and region-view exchanges, marking tokens —
+// travels as an inline congest.Wire value, so a merge phase performs no
+// boxed-message allocation; the dyadic weights ride the EncodeQ trick
+// (denominator exponent in a few bits of B, numerator in C) and the two
+// 24-bit id pairs pack into A/B and D.
+//
 // The output forest has, on tie-free instances, exactly the weight of the
 // centralized oracle's output, which the test suite asserts.
 package detforest
@@ -92,71 +99,101 @@ func (o *sharedOutput) mark(edgeIndex int) {
 	o.selected.Add(edgeIndex)
 }
 
+// Wire kinds of this package (range 16-23 of the congest.Wire partition).
+// Widths match the former boxed forms exactly — the collected item kinds
+// include the 2 header bits their up/down envelopes used to add — so the
+// wire migration leaves Stats bit-identical.
+const (
+	// wireToken walks up region trees during final edge marking (2-bit
+	// control marker).
+	wireToken uint16 = 16
+	// wireTerm announces a terminal during step 1: A = node, B = label.
+	wireTerm uint16 = 17
+	// wireCand is a candidate merge item: A = terminal index v,
+	// B = weight denominator exponent | terminal index w << 8,
+	// C = weight numerator, D = edge endpoints eu << 32 | ev.
+	wireCand uint16 = 18
+	// wireCov carries one side's cumulative edge coverage: (B, C) = the
+	// EncodeQ'd dyadic.
+	wireCov uint16 = 19
+	// wireNbr announces a node's post-decomposition region view:
+	// A = owning terminal index (two's complement; -1 if unowned),
+	// B = dhat denominator exponent | active bit << 8, C = dhat numerator.
+	wireNbr uint16 = 20
+)
+
+func init() {
+	congest.RegisterWireKind(wireToken, 2)
+	congest.RegisterWireKind(wireTerm, 2*24+2)
+	congest.RegisterWireKindFunc(wireCand, candWireBits)
+	congest.RegisterWireKindFunc(wireCov, covWireBits)
+	congest.RegisterWireKindFunc(wireNbr, nbrWireBits)
+}
+
+// candWireBits accounts a candidate item exactly as the boxed form plus its
+// pipeline envelope did: weight + four 24-bit ids + 2 item header bits +
+// 2 envelope bits.
+func candWireBits(w congest.Wire) int {
+	return dist.EdgeItemBits(w) + 2 + 2
+}
+
+// covWireBits: the dyadic coverage + 2 header bits, as covMsg accounted.
+func covWireBits(w congest.Wire) int {
+	return dist.EncodedQBits(w.B, w.C) + 2
+}
+
+// nbrWireBits: 24-bit owner + activity bit + dhat + 2 header bits, as
+// nbrMsg accounted.
+func nbrWireBits(w congest.Wire) int {
+	return 24 + 1 + dist.EncodedQBits(w.B&0xff, w.C) + 2
+}
+
 // termInfo is the globally broadcast terminal table entry.
 type termInfo struct {
 	node  int
 	label int
 }
 
-// termItem announces a terminal during step 1.
-type termItem termInfo
-
-func (m termItem) Bits() int { return 2 * 24 }
-func (m termItem) Less(o dist.Item) bool {
-	x := o.(termItem)
-	return m.node < x.node
-}
-
-// covMsg carries one side's cumulative edge coverage.
-type covMsg struct {
-	cov rational.Q
-}
-
-func (m covMsg) Bits() int { return m.cov.Bits() + 2 }
-
-// nbrMsg announces a node's post-decomposition region view to neighbors.
-type nbrMsg struct {
+// nbrView is a neighbor's decoded region view.
+type nbrView struct {
 	ownerIdx int // terminal index, -1 if unowned
 	active   bool
 	dhat     rational.Q
 }
 
-func (m nbrMsg) Bits() int { return 24 + 1 + m.dhat.Bits() + 2 }
+func nbrWire(ownerIdx int, active bool, dhat rational.Q) congest.Wire {
+	b, c := dist.EncodeQ(dhat)
+	if active {
+		b |= 1 << 8
+	}
+	return congest.Wire{Kind: wireNbr, A: uint32(int32(ownerIdx)), B: b, C: c}
+}
+
+func nbrFromWire(w congest.Wire) nbrView {
+	return nbrView{
+		ownerIdx: int(int32(w.A)),
+		active:   w.B>>8&1 == 1,
+		dhat:     dist.DecodeQ(w.B&0xff, w.C),
+	}
+}
 
 // candItem is a candidate merge (Definition 4.11): merging the moats of
-// terminals v and w (indices into the terminal table) via graph edge
-// {eu, ev}, at moat growth weight w from the phase start.
-type candItem struct {
-	weight rational.Q
-	v, w   int // terminal indices, v < w
-	eu, ev int // edge endpoints (node ids), eu < ev
+// terminals U and V (indices into the terminal table) via graph edge
+// {EU, EV}, at moat growth weight Weight from the phase start. The wire
+// codec and comparator are dist's shared EdgeItem ones (randforest's
+// boundary proposals use the same shape).
+type candItem = dist.EdgeItem
+
+// termCmp orders terminal announcements by node id.
+func termCmp(a, b congest.Wire) int {
+	if a.A != b.A {
+		if a.A < b.A {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
-
-func (m candItem) Bits() int { return m.weight.Bits() + 4*24 + 2 }
-
-func (m candItem) Less(o dist.Item) bool {
-	x := o.(candItem)
-	if c := m.weight.Cmp(x.weight); c != 0 {
-		return c < 0
-	}
-	if m.v != x.v {
-		return m.v < x.v
-	}
-	if m.w != x.w {
-		return m.w < x.w
-	}
-	if m.eu != x.eu {
-		return m.eu < x.eu
-	}
-	return m.ev < x.ev
-}
-
-// wireToken walks up region trees during final edge marking (2-bit
-// control marker, carried as an inline wire value; kind range 16-23 is
-// reserved for this package).
-const wireToken uint16 = 16
-
-func init() { congest.RegisterWireKind(wireToken, 2) }
 
 type nodeState struct {
 	h     *congest.Host
@@ -180,16 +217,16 @@ type nodeState struct {
 // globally broadcast terminal announcements, discarding singleton input
 // components (the distributed counterpart of Lemma 2.4: after the
 // announcement every node knows each label's multiplicity).
-func (ns *nodeState) installTerms(all []dist.Item) {
+func (ns *nodeState) installTerms(all []congest.Wire) {
 	counts := make(map[int]int, len(all))
 	for _, x := range all {
-		counts[x.(termItem).label]++
+		counts[int(x.B)]++
 	}
 	ns.terms = ns.terms[:0]
 	ns.tIdx = make(map[int]int, len(all))
 	var labels []int
 	for _, x := range all {
-		ti := termInfo(x.(termItem))
+		ti := termInfo{node: int(x.A), label: int(x.B)}
 		if counts[ti.label] < 2 {
 			continue
 		}
@@ -214,11 +251,11 @@ func (ns *nodeState) run(out *sharedOutput) {
 	ns.t = dist.BuildBFS(h)
 
 	// Step 1: make all terminals and labels globally known.
-	var local []dist.Item
+	var local []congest.Wire
 	if ns.label != steiner.NoLabel {
-		local = append(local, termItem{node: h.ID(), label: ns.label})
+		local = append(local, congest.Wire{Kind: wireTerm, A: uint32(h.ID()), B: uint32(ns.label)})
 	}
-	all := dist.UpcastBroadcast(h, ns.t, local, nil, nil)
+	all := dist.UpcastBroadcast(h, ns.t, local, termCmp, nil, nil)
 	ns.installTerms(all)
 	if idx, ok := ns.tIdx[h.ID()]; ok {
 		ns.owner = idx
@@ -250,11 +287,12 @@ func (ns *nodeState) runPhase() {
 	// (a) Exchange coverage to agree on reduced edge weights Ŵj.
 	covOut := make([]congest.Send, 0, deg)
 	for p := 0; p < deg; p++ {
-		covOut = append(covOut, congest.Send{Port: p, Msg: covMsg{cov: ns.cov[p]}})
+		b, c := dist.EncodeQ(ns.cov[p])
+		covOut = append(covOut, congest.Send{Port: p, Wire: congest.Wire{Kind: wireCov, B: b, C: c}})
 	}
 	nbrCov := make([]rational.Q, deg)
 	for _, rc := range h.Exchange(covOut) {
-		nbrCov[rc.Port] = rc.Msg.(covMsg).cov
+		nbrCov[rc.Port] = dist.DecodeQ(rc.Wire.B, rc.Wire.C)
 	}
 	reduced := make([]rational.Q, deg)
 	for p := 0; p < deg; p++ {
@@ -287,18 +325,18 @@ func (ns *nodeState) runPhase() {
 	// (c) Tell neighbors the view.
 	view := make([]congest.Send, 0, deg)
 	for p := 0; p < deg; p++ {
-		view = append(view, congest.Send{Port: p, Msg: nbrMsg{ownerIdx: myOwner, active: myActive, dhat: myDhat}})
+		view = append(view, congest.Send{Port: p, Wire: nbrWire(myOwner, myActive, myDhat)})
 	}
-	nbr := make([]nbrMsg, deg)
+	nbr := make([]nbrView, deg)
 	for p := range nbr {
-		nbr[p] = nbrMsg{ownerIdx: -1}
+		nbr[p] = nbrView{ownerIdx: -1}
 	}
 	for _, rc := range h.Exchange(view) {
-		nbr[rc.Port] = rc.Msg.(nbrMsg)
+		nbr[rc.Port] = nbrFromWire(rc.Wire)
 	}
 
 	// (d) Propose candidate merges on region boundary edges.
-	var cands []dist.Item
+	var cands []congest.Wire
 	if myOwner >= 0 && myActive {
 		for p := 0; p < deg; p++ {
 			o := nbr[p]
@@ -318,7 +356,7 @@ func (ns *nodeState) runPhase() {
 			if eu > ev {
 				eu, ev = ev, eu
 			}
-			cands = append(cands, candItem{weight: weight, v: v, w: w, eu: eu, ev: ev})
+			cands = append(cands, candItem{Weight: weight, U: v, V: w, EU: eu, EV: ev}.Wire(wireCand))
 		}
 	}
 
@@ -326,30 +364,29 @@ func (ns *nodeState) runPhase() {
 	// (Corollary 4.16).
 	newFilter := func() dist.Filter {
 		spec := ns.book.Clone()
-		return func(x dist.Item) bool {
-			c := x.(candItem)
-			if spec.SameMoat(c.v, c.w) {
+		return func(x congest.Wire) bool {
+			v, w := dist.EdgeItemPair(x)
+			if spec.SameMoat(v, w) {
 				return false
 			}
-			spec.Merge(c.v, c.w)
+			spec.Merge(v, w)
 			return true
 		}
 	}
 	ender := ns.book.Clone()
-	stopAfter := func(x dist.Item) bool {
-		c := x.(candItem)
-		return ender.Merge(c.v, c.w)
+	stopAfter := func(x congest.Wire) bool {
+		return ender.Merge(dist.EdgeItemPair(x))
 	}
-	accepted := dist.UpcastBroadcast(h, ns.t, cands, newFilter, stopAfter)
+	accepted := dist.UpcastBroadcast(h, ns.t, cands, dist.EdgeItemCmp, newFilter, stopAfter)
 	if len(accepted) == 0 {
 		panic("detforest: active phase produced no merges (infeasible instance?)")
 	}
 
 	// (f) Replay on the local replica; µ(j) is the phase-ender's weight.
-	mu := accepted[len(accepted)-1].(candItem).weight
+	mu := dist.EdgeItemFromWire(accepted[len(accepted)-1]).Weight
 	for _, x := range accepted {
-		c := x.(candItem)
-		ns.book.Merge(c.v, c.w)
+		c := dist.EdgeItemFromWire(x)
+		ns.book.Merge(c.U, c.V)
 		ns.allMerges = append(ns.allMerges, c)
 	}
 
@@ -401,10 +438,10 @@ func (ns *nodeState) markEdges(out *sharedOutput) {
 	tokens := 0 // pending token sends up the parent chain
 	seen := false
 	for _, c := range fmin {
-		if h.ID() == c.eu || h.ID() == c.ev {
-			other := c.eu
-			if h.ID() == c.eu {
-				other = c.ev
+		if h.ID() == c.EU || h.ID() == c.EV {
+			other := c.EU
+			if h.ID() == c.EU {
+				other = c.EV
 			}
 			if p, ok := h.PortOf(other); ok {
 				out.mark(h.EdgeIndex(p))
@@ -449,8 +486,8 @@ func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 	n := len(terms)
 	adj := make([][]int, n) // terminal index -> merge indices
 	for mi, c := range merges {
-		adj[c.v] = append(adj[c.v], mi)
-		adj[c.w] = append(adj[c.w], mi)
+		adj[c.U] = append(adj[c.U], mi)
+		adj[c.V] = append(adj[c.V], mi)
 	}
 	lblIdx := make(map[int]int, n) // label -> dense id
 	lbl := make([]int, n)          // terminal index -> dense label id
@@ -489,9 +526,9 @@ func minimalSubforest(terms []termInfo, merges []candItem) []candItem {
 					continue
 				}
 				c := merges[mi]
-				next := c.v
+				next := c.U
 				if next == f.node {
-					next = c.w
+					next = c.V
 				}
 				if visited[next] {
 					continue

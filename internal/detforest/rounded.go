@@ -58,11 +58,11 @@ func (ns *nodeState) runRounded(out *sharedOutput) {
 	h := ns.h
 	ns.t = dist.BuildBFS(h)
 
-	var local []dist.Item
+	var local []congest.Wire
 	if ns.label != steiner.NoLabel {
-		local = append(local, termItem{node: h.ID(), label: ns.label})
+		local = append(local, congest.Wire{Kind: wireTerm, A: uint32(h.ID()), B: uint32(ns.label)})
 	}
-	all := dist.UpcastBroadcast(h, ns.t, local, nil, nil)
+	all := dist.UpcastBroadcast(h, ns.t, local, termCmp, nil, nil)
 	ns.installTerms(all)
 	ns.book.SetRounded()
 	if idx, ok := ns.tIdx[h.ID()]; ok {
@@ -106,11 +106,12 @@ func (ns *nodeState) runRoundedPhase(cap rational.Q) (rational.Q, bool) {
 
 	covOut := make([]congest.Send, 0, deg)
 	for p := 0; p < deg; p++ {
-		covOut = append(covOut, congest.Send{Port: p, Msg: covMsg{cov: ns.cov[p]}})
+		b, c := dist.EncodeQ(ns.cov[p])
+		covOut = append(covOut, congest.Send{Port: p, Wire: congest.Wire{Kind: wireCov, B: b, C: c}})
 	}
 	nbrCov := make([]rational.Q, deg)
 	for _, rc := range h.Exchange(covOut) {
-		nbrCov[rc.Port] = rc.Msg.(covMsg).cov
+		nbrCov[rc.Port] = dist.DecodeQ(rc.Wire.B, rc.Wire.C)
 	}
 	reduced := make([]rational.Q, deg)
 	for p := 0; p < deg; p++ {
@@ -138,17 +139,17 @@ func (ns *nodeState) runRoundedPhase(cap rational.Q) (rational.Q, bool) {
 
 	view := make([]congest.Send, 0, deg)
 	for p := 0; p < deg; p++ {
-		view = append(view, congest.Send{Port: p, Msg: nbrMsg{ownerIdx: myOwner, active: myActive, dhat: myDhat}})
+		view = append(view, congest.Send{Port: p, Wire: nbrWire(myOwner, myActive, myDhat)})
 	}
-	nbr := make([]nbrMsg, deg)
+	nbr := make([]nbrView, deg)
 	for p := range nbr {
-		nbr[p] = nbrMsg{ownerIdx: -1}
+		nbr[p] = nbrView{ownerIdx: -1}
 	}
 	for _, rc := range h.Exchange(view) {
-		nbr[rc.Port] = rc.Msg.(nbrMsg)
+		nbr[rc.Port] = nbrFromWire(rc.Wire)
 	}
 
-	var cands []dist.Item
+	var cands []congest.Wire
 	if myOwner >= 0 && myActive {
 		for p := 0; p < deg; p++ {
 			o := nbr[p]
@@ -168,36 +169,35 @@ func (ns *nodeState) runRoundedPhase(cap rational.Q) (rational.Q, bool) {
 			if eu > ev {
 				eu, ev = ev, eu
 			}
-			cands = append(cands, candItem{weight: weight, v: v, w: w, eu: eu, ev: ev})
+			cands = append(cands, candItem{Weight: weight, U: v, V: w, EU: eu, EV: ev}.Wire(wireCand))
 		}
 	}
 
 	newFilter := func() dist.Filter {
 		spec := ns.book.Clone()
-		return func(x dist.Item) bool {
-			c := x.(candItem)
-			if spec.SameMoat(c.v, c.w) {
+		return func(x congest.Wire) bool {
+			v, w := dist.EdgeItemPair(x)
+			if spec.SameMoat(v, w) {
 				return false
 			}
-			spec.Merge(c.v, c.w)
+			spec.Merge(v, w)
 			return true
 		}
 	}
 	ender := ns.book.Clone()
-	stopAfter := func(x dist.Item) bool {
-		c := x.(candItem)
-		if cap.Less(c.weight) {
+	stopAfter := func(x congest.Wire) bool {
+		if cap.Less(dist.DecodeQ(x.B&0xff, x.C)) {
 			return true // over the threshold: phase ends at µ̂
 		}
-		return ender.Merge(c.v, c.w)
+		return ender.Merge(dist.EdgeItemPair(x))
 	}
-	accepted := dist.UpcastBroadcast(h, ns.t, cands, newFilter, stopAfter)
+	accepted := dist.UpcastBroadcast(h, ns.t, cands, dist.EdgeItemCmp, newFilter, stopAfter)
 
 	// Decide the phase outcome: an over-cap tail item means the threshold
 	// was hit and the item is deferred to a later phase.
 	hitThreshold := false
 	if len(accepted) > 0 {
-		if last := accepted[len(accepted)-1].(candItem); cap.Less(last.weight) {
+		if last := dist.EdgeItemFromWire(accepted[len(accepted)-1]); cap.Less(last.Weight) {
 			hitThreshold = true
 			accepted = accepted[:len(accepted)-1]
 		}
@@ -210,11 +210,11 @@ func (ns *nodeState) runRoundedPhase(cap rational.Q) (rational.Q, bool) {
 
 	mu := cap
 	if !hitThreshold {
-		mu = accepted[len(accepted)-1].(candItem).weight
+		mu = dist.EdgeItemFromWire(accepted[len(accepted)-1]).Weight
 	}
 	for _, x := range accepted {
-		c := x.(candItem)
-		ns.book.Merge(c.v, c.w)
+		c := dist.EdgeItemFromWire(x)
+		ns.book.Merge(c.U, c.V)
 		ns.allMerges = append(ns.allMerges, c)
 	}
 

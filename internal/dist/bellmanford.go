@@ -65,7 +65,7 @@ func BellmanFord(h *congest.Host, t *Tree, cfg BFConfig) BFResult {
 				continue
 			}
 			src := int(int32(rc.Wire.A))
-			cand := decodeQ(rc.Wire.B, rc.Wire.C).Add(ew(rc.Port))
+			cand := DecodeQ(rc.Wire.B, rc.Wire.C).Add(ew(rc.Port))
 			from := h.Neighbor(rc.Port)
 			better := !res.Reached
 			if !better {
@@ -91,7 +91,7 @@ func BellmanFord(h *congest.Host, t *Tree, cfg BFConfig) BFResult {
 			return nil, false
 		}
 		pending = false
-		b, c := encodeQ(res.Dist)
+		b, c := EncodeQ(res.Dist)
 		offer := congest.Wire{Kind: wireBF, A: uint32(int32(res.Source)), B: b, C: c}
 		outBuf = outBuf[:0]
 		for p := 0; p < deg; p++ {

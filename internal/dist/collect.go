@@ -14,6 +14,14 @@ import (
 // the filter (Corollary 4.16), and the root's accepted stream is pipelined
 // back down. Every node returns the identical accepted slice, in order.
 //
+// Items are congest.Wire values of one registered kind, ordered by cmp (a
+// strict total order with content tie-breaking); direction needs no
+// encoding, since a non-root node receives the down stream only on its
+// parent port and up streams only on child ports. Carrying the items
+// inline — instead of boxing them through a Message envelope per hop —
+// is what keeps the deterministic solver's candidate collection, its
+// round-dominant phase, allocation-free.
+//
 // newFilter, when non-nil, is called once per node to create that node's
 // filter replica; see Filter for the required monotonicity. stopAfter,
 // evaluated at the root over accepted items, ends the stream after (and
@@ -23,24 +31,17 @@ import (
 // Rounds: O(height + items surviving the interior filters). Nodes sleep
 // whenever the pipeline gives them nothing to say: while blocked on a
 // lagging child stream, after their subtree's stream is exhausted, and
-// (at the root) until the upcast completes.
-func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Filter, stopAfter func(Item) bool) []Item {
-	slices.SortStableFunc(local, func(a, b Item) int {
-		switch {
-		case a.Less(b):
-			return -1
-		case b.Less(a):
-			return 1
-		default:
-			return 0
-		}
-	})
+// (at the root) until the upcast completes. Parked stretches of the down
+// stream run as engine-side relay orders, whose drains the window relay
+// batches.
+func UpcastBroadcast(h *congest.Host, t *Tree, local []congest.Wire, cmp Cmp, newFilter func() Filter, stopAfter func(congest.Wire) bool) []congest.Wire {
+	slices.SortStableFunc(local, cmp)
 	var filter Filter
 	if newFilter != nil {
 		filter = newFilter()
 	}
 	if h.N() <= 1 {
-		var acc []Item
+		var acc []congest.Wire
 		for _, it := range local {
 			if filter != nil && !filter(it) {
 				continue
@@ -62,7 +63,7 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 	for i, p := range t.ChildPorts {
 		childOf[p] = i
 	}
-	queues := make([][]Item, nc) // per-child pending items, ascending
+	queues := make([][]congest.Wire, nc) // per-child pending items, ascending
 	done := make([]bool, nc)
 	ownNext := 0
 
@@ -80,18 +81,19 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 		}
 		return any
 	}
-	popMin := func() Item {
+	popMin := func() congest.Wire {
 		best := -1 // -1 = own list
-		var bestIt Item
+		var bestIt congest.Wire
+		has := false
 		if ownNext < len(local) {
-			bestIt = local[ownNext]
+			bestIt, has = local[ownNext], true
 		}
 		for i := 0; i < nc; i++ {
 			if len(queues[i]) == 0 {
 				continue
 			}
-			if bestIt == nil || queues[i][0].Less(bestIt) {
-				best, bestIt = i, queues[i][0]
+			if !has || cmp(queues[i][0], bestIt) < 0 {
+				best, bestIt, has = i, queues[i][0], true
 			}
 		}
 		if best < 0 {
@@ -113,8 +115,8 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 		return true
 	}
 
-	var result []Item // the broadcast stream (root: accepted)
-	var fwd []Item    // interior: forward queue for the broadcast
+	var result []congest.Wire // the broadcast stream (root: accepted)
+	var fwd []congest.Wire    // interior: forward queue for the broadcast
 	fwdEnd := false
 	sawDown := false
 	exitRound := -1
@@ -124,23 +126,22 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 			switch rc.Wire.Kind {
 			case wireUpDone:
 				done[childOf[rc.Port]] = true
-				continue
 			case wireDownEnd:
 				sawDown = true
 				if nc > 0 {
 					fwdEnd = true
 				}
 				exitRound = h.Round() + t.Height - t.Depth
-				continue
-			}
-			switch m := rc.Msg.(type) {
-			case upItem:
-				queues[childOf[rc.Port]] = append(queues[childOf[rc.Port]], m.it)
-			case downItem:
-				sawDown = true
-				result = append(result, m.it)
-				if nc > 0 {
-					fwd = append(fwd, m.it)
+			default:
+				if rc.Port == t.ParentPort {
+					sawDown = true
+					result = append(result, rc.Wire)
+					if nc > 0 {
+						fwd = append(fwd, rc.Wire)
+					}
+				} else {
+					ci := childOf[rc.Port]
+					queues[ci] = append(queues[ci], rc.Wire)
 				}
 			}
 		}
@@ -174,7 +175,7 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 		for _, it := range result {
 			out := make([]congest.Send, 0, nc)
 			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
+				out = append(out, congest.Send{Port: p, Wire: it})
 			}
 			h.Exchange(out)
 		}
@@ -193,17 +194,20 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 	// the broadcast already started (the root finalized early on a
 	// stopAfter cut).
 	upDoneSent := false
+	var sendBuf [1]congest.Send
 	for !upDoneSent && !sawDown {
 		var out []congest.Send
 		for canPop() {
 			it := popMin()
 			if filter == nil || filter(it) {
-				out = []congest.Send{{Port: t.ParentPort, Msg: upItem{it: it}}}
+				sendBuf[0] = congest.Send{Port: t.ParentPort, Wire: it}
+				out = sendBuf[:]
 				break
 			}
 		}
 		if out == nil && allEnded() {
-			out = []congest.Send{{Port: t.ParentPort, Wire: congest.Wire{Kind: wireUpDone}}}
+			sendBuf[0] = congest.Send{Port: t.ParentPort, Wire: congest.Wire{Kind: wireUpDone}}
+			out = sendBuf[:]
 			upDoneSent = true
 		}
 		if out != nil {
@@ -212,39 +216,55 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 			process(h.Sleep())
 		}
 	}
-	// Wait for the broadcast to reach us and relay it, one forwarded item
-	// per round toward the children, until the end marker has passed. With
-	// nothing queued the whole pipeline stage runs inside the engine: a
-	// Relay order forwards the parent's stream and wakes us only at the
-	// end marker or a straggler's upcast item (possible after a stopAfter
-	// cut), whose round we handle by hand before parking again.
+	// Wait for the broadcast to reach us and relay it, end marker included,
+	// toward the children. With nothing queued the whole pipeline stage
+	// runs inside the engine: a RelayStream order forwards the parent's
+	// stream — waking us once, after the marker's own forward — and its
+	// drains batch through the window relay. Only a straggler's upcast item
+	// (possible after a stopAfter cut) wakes us early, whose round we
+	// handle by hand before parking again.
 	for exitRound < 0 {
 		if len(fwd) > 0 {
 			it := fwd[0]
 			fwd = fwd[1:]
 			out := make([]congest.Send, 0, nc)
 			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
+				out = append(out, congest.Send{Port: p, Wire: it})
 			}
 			process(h.Exchange(out))
 		} else {
-			relayed, last := h.Relay(t.ParentPort, t.ChildPorts, wireDownEnd)
-			for _, rc := range relayed {
+			stream, last := h.RelayStream(t.ParentPort, t.ChildPorts, wireDownEnd)
+			ended := false
+			for _, rc := range stream {
 				// Already forwarded by the engine: record, don't queue.
-				if m, ok := rc.Msg.(downItem); ok {
-					result = append(result, m.it)
+				if rc.Wire.Kind == wireDownEnd {
+					ended = true
+					break
 				}
+				result = append(result, rc.Wire)
 			}
-			process(last)
+			if ended {
+				// The marker arrived one round before its forward when we
+				// have children, in the waking round otherwise; stray mail
+				// of the forward round (last) is ignored, as the loop's
+				// discarded Exchange result would have been.
+				arrived := h.Round()
+				if nc > 0 {
+					arrived--
+				}
+				exitRound = arrived + t.Height - t.Depth
+			} else {
+				process(last)
+			}
 		}
 	}
 	for len(fwd) > 0 || fwdEnd {
-		var out []congest.Send
+		out := make([]congest.Send, 0, nc)
 		if len(fwd) > 0 {
 			it := fwd[0]
 			fwd = fwd[1:]
 			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Msg: downItem{it: it}})
+				out = append(out, congest.Send{Port: p, Wire: it})
 			}
 		} else {
 			fwdEnd = false
@@ -258,22 +278,23 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []Item, newFilter func() Fi
 	return result
 }
 
-// BroadcastList delivers the root's message list to every node: the root
+// BroadcastList delivers the root's item list to every node: the root
 // streams its items down the BFS tree one per round followed by an end
 // marker, interior nodes forward with one round of latency, and all nodes
 // exit in the same round. Non-root callers pass nil (their argument is
 // ignored); every node returns the root's list in order. Nodes sleep until
-// the stream reaches them.
-func BroadcastList(h *congest.Host, t *Tree, items []congest.Message) []congest.Message {
+// the stream reaches them; fully parked stretches of the pipeline drain
+// through the engine's window relay.
+func BroadcastList(h *congest.Host, t *Tree, items []congest.Wire) []congest.Wire {
 	if h.N() <= 1 {
 		return items
 	}
 	nc := len(t.ChildPorts)
 	if t.IsRoot() {
-		for _, m := range items {
+		for _, it := range items {
 			out := make([]congest.Send, 0, nc)
 			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
+				out = append(out, congest.Send{Port: p, Wire: it})
 			}
 			h.Exchange(out)
 		}
@@ -286,65 +307,25 @@ func BroadcastList(h *congest.Host, t *Tree, items []congest.Message) []congest.
 		return items
 	}
 
-	var result []congest.Message
-	var fwd []congest.Message
-	fwdEnd := false
-	exitRound := -1
-	process := func(in []congest.Recv) {
-		for _, rc := range in {
-			if rc.Wire.Kind == wireBcastEnd {
-				if nc > 0 {
-					fwdEnd = true
-				}
-				exitRound = h.Round() + t.Height - t.Depth
-				continue
-			}
-			if m, ok := rc.Msg.(bcastMsg); ok {
-				result = append(result, m.m)
-				if nc > 0 {
-					fwd = append(fwd, m.m)
-				}
-			}
+	// The whole stage runs inside the engine: one RelayStream order
+	// forwards the parent's stream, end marker included, and wakes us once
+	// it has passed — deviations cannot occur in this primitive, so the
+	// drain is pure window-relay traffic.
+	var result []congest.Wire
+	stream, _ := h.RelayStream(t.ParentPort, t.ChildPorts, wireBcastEnd)
+	for _, rc := range stream {
+		if rc.Wire.Kind == wireBcastEnd {
+			break
 		}
+		result = append(result, rc.Wire)
 	}
-	for exitRound < 0 {
-		if len(fwd) > 0 {
-			m := fwd[0]
-			fwd = fwd[1:]
-			out := make([]congest.Send, 0, nc)
-			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
-			}
-			process(h.Exchange(out))
-		} else {
-			// The engine relays the stream; only the end marker (or a
-			// deviation, which cannot occur in this primitive) wakes us.
-			relayed, last := h.Relay(t.ParentPort, t.ChildPorts, wireBcastEnd)
-			for _, rc := range relayed {
-				if m, ok := rc.Msg.(bcastMsg); ok {
-					result = append(result, m.m)
-				}
-			}
-			process(last)
-		}
+	// The marker arrived one round before its forward when we have
+	// children, in the waking round at a leaf.
+	arrived := h.Round()
+	if nc > 0 {
+		arrived--
 	}
-	for len(fwd) > 0 || fwdEnd {
-		var out []congest.Send
-		if len(fwd) > 0 {
-			m := fwd[0]
-			fwd = fwd[1:]
-			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Msg: bcastMsg{m: m}})
-			}
-		} else {
-			fwdEnd = false
-			for _, p := range t.ChildPorts {
-				out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireBcastEnd}})
-			}
-		}
-		h.Exchange(out)
-	}
-	h.Idle(exitRound - h.Round())
+	h.Idle(arrived + t.Height - t.Depth - h.Round())
 	return result
 }
 

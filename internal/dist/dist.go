@@ -36,14 +36,21 @@ import (
 	"steinerforest/internal/rational"
 )
 
-// Item is a payload that can be collected by UpcastBroadcast: a CONGEST
-// message with a deterministic total order. Less must be a strict total
-// order on the item type (ties broken by content), so that every node
+// Collected items are congest.Wire values: the collect pipelines
+// (UpcastBroadcast, BroadcastList) are the per-round hot phase of the
+// deterministic solver, and carrying the items inline keeps every hop of
+// every stream off the heap. An item kind is registered by its owning
+// package (congest.RegisterWireKind/Func) with a width of payload + 2
+// header bits, exactly the accounting the former boxed up/down/broadcast
+// envelopes had; the control markers below delimit the streams. One
+// collect call carries items of one kind, ordered by the caller's
+// comparison function.
+
+// Cmp is the strict total order of one collect call's item kind:
+// negative/zero/positive as a precedes/equals/follows b. Ties must be
+// broken by content (equal only for identical items), so that every node
 // derives the identical sorted stream.
-type Item interface {
-	congest.Message
-	Less(o Item) bool
-}
+type Cmp func(a, b congest.Wire) int
 
 // Filter decides whether an item of a sorted stream is accepted given the
 // items accepted before it. Filters are stateful; UpcastBroadcast
@@ -53,13 +60,12 @@ type Item interface {
 // monotone: an item rejected against a subset of its true predecessors
 // must also be rejected against all of them (union-find style filters and
 // count caps have this property).
-type Filter func(Item) bool
+type Filter func(congest.Wire) bool
 
 // Control messages of the primitives travel as congest.Wire values (kinds
 // 1-15, see the congest.Wire kind partition): they are the per-round hot
-// path, and the wire form keeps them off the heap. Item and broadcast
-// envelopes stay boxed — their payloads are variable-width. Control
-// headers are accounted at 2 bits, exactly as the boxed forms were.
+// path, and the wire form keeps them off the heap. Control headers are
+// accounted at 2 bits, exactly as the boxed forms were.
 const (
 	wireUpDone   uint16 = 1  // upcast stream exhausted
 	wireDownEnd  uint16 = 2  // downcast stream exhausted
@@ -90,40 +96,126 @@ func init() {
 	congest.RegisterWireKind(wireFinish, 2+24)
 }
 
-// encodeQ packs an exact dyadic rational into a wire: B is the bit length
-// of the (power-of-two) denominator, C the numerator.
-func encodeQ(q rational.Q) (b uint32, c int64) {
+// EncodeQ packs an exact dyadic rational into two wire slots: the returned
+// b is the bit length of the (power-of-two) denominator, c the numerator.
+// It is the encoding trick every dyadic-weight wire kind uses (Bellman-Ford
+// offers, candidate merges, coverage exchanges): the exponent rides a few
+// bits of a 32-bit slot, the numerator a 64-bit one.
+func EncodeQ(q rational.Q) (b uint32, c int64) {
 	return uint32(bits.Len64(uint64(q.Den()))), q.Num()
 }
 
-// decodeQ is the inverse of encodeQ.
-func decodeQ(b uint32, c int64) rational.Q {
+// DecodeQ is the inverse of EncodeQ.
+func DecodeQ(b uint32, c int64) rational.Q {
 	return rational.New(c, int64(1)<<(b-1))
 }
 
-// bfWireBits accounts an encoded Bellman-Ford offer exactly as the boxed
-// form did: 2 header + 24 source id + Q.Bits() of the distance, the latter
-// recomputed from the encoding (numerator length + sign + denominator
-// length).
-func bfWireBits(w congest.Wire) int {
-	c := w.C
+// EncodedQBits returns rational.Q.Bits() of the encoded dyadic — numerator
+// length, sign, denominator length — without decoding, for the width
+// functions of dyadic wire kinds.
+func EncodedQBits(b uint32, c int64) int {
 	if c < 0 {
 		c = -c
 	}
-	return 2 + 24 + bits.Len64(uint64(c)) + 1 + int(w.B)
+	return bits.Len64(uint64(c)) + 1 + int(b)
 }
 
-// Envelope messages with variable-width payloads; headers are accounted at
-// 2 bits.
+// bfWireBits accounts an encoded Bellman-Ford offer exactly as the boxed
+// form did: 2 header + 24 source id + Q.Bits() of the distance.
+func bfWireBits(w congest.Wire) int {
+	return 2 + 24 + EncodedQBits(w.B, w.C)
+}
 
-type upItem struct{ it Item }
+// EdgeItem is the shared shape of the pipelines' dyadic-weighted edge
+// items — detforest's candidate merges and randforest's boundary
+// proposals: a weight, a pair of group ids (terminal indices, Voronoi
+// cells), and the inducing graph edge. One codec keeps the bit packing
+// and the comparator in one place: the weight rides EncodeQ (denominator
+// exponent in the low byte of B, numerator in C), U takes A, V the high
+// 24 bits of B, and the edge endpoints pack into D. U and V must fit 32
+// resp. 24 bits, the endpoints 32 bits each (the width accounting, like
+// the rest of the repository, assumes 24-bit ids).
+type EdgeItem struct {
+	Weight rational.Q
+	U, V   int // group ids, U < V
+	EU, EV int // edge endpoints (node ids), EU < EV
+}
 
-func (m upItem) Bits() int { return m.it.Bits() + 2 }
+// Wire encodes the item under the given registered kind.
+func (it EdgeItem) Wire(kind uint16) congest.Wire {
+	b, c := EncodeQ(it.Weight)
+	return congest.Wire{Kind: kind,
+		A: uint32(it.U),
+		B: b | uint32(it.V)<<8,
+		C: c,
+		D: int64(uint64(it.EU)<<32 | uint64(uint32(it.EV))),
+	}
+}
 
-type downItem struct{ it Item }
+// Less is the item order the pipelines sort by: (Weight, U, V, EU, EV).
+func (it EdgeItem) Less(o EdgeItem) bool {
+	if c := it.Weight.Cmp(o.Weight); c != 0 {
+		return c < 0
+	}
+	if it.U != o.U {
+		return it.U < o.U
+	}
+	if it.V != o.V {
+		return it.V < o.V
+	}
+	if it.EU != o.EU {
+		return it.EU < o.EU
+	}
+	return it.EV < o.EV
+}
 
-func (m downItem) Bits() int { return m.it.Bits() + 2 }
+// EdgeItemFromWire is the inverse of EdgeItem.Wire.
+func EdgeItemFromWire(w congest.Wire) EdgeItem {
+	return EdgeItem{
+		Weight: DecodeQ(w.B&0xff, w.C),
+		U:      int(w.A),
+		V:      int(w.B >> 8),
+		EU:     int(uint64(w.D) >> 32),
+		EV:     int(uint32(uint64(w.D))),
+	}
+}
 
-type bcastMsg struct{ m congest.Message }
+// EdgeItemPair extracts just the group ids — what the interior filters
+// need per item, without decoding the weight.
+func EdgeItemPair(w congest.Wire) (u, v int) {
+	return int(w.A), int(w.B >> 8)
+}
 
-func (m bcastMsg) Bits() int { return m.m.Bits() + 2 }
+// EdgeItemBits is the encoded payload width — the weight plus four 24-bit
+// ids; callers add their kind's header/envelope constant.
+func EdgeItemBits(w congest.Wire) int {
+	return EncodedQBits(w.B&0xff, w.C) + 4*24
+}
+
+// EdgeItemCmp orders encoded items like EdgeItem.Less, decoding only the
+// weight: the D slot packs (EU, EV) most-significant-first, so one
+// unsigned comparison covers both endpoints.
+func EdgeItemCmp(a, b congest.Wire) int {
+	if c := DecodeQ(a.B&0xff, a.C).Cmp(DecodeQ(b.B&0xff, b.C)); c != 0 {
+		return c
+	}
+	if a.A != b.A {
+		if a.A < b.A {
+			return -1
+		}
+		return 1
+	}
+	if av, bv := a.B>>8, b.B>>8; av != bv {
+		if av < bv {
+			return -1
+		}
+		return 1
+	}
+	if au, bu := uint64(a.D), uint64(b.D); au != bu {
+		if au < bu {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

@@ -10,17 +10,36 @@ import (
 	"steinerforest/internal/rational"
 )
 
-type intItem struct{ v int }
+// testItemKind is the collect-pipeline item of these tests (kind range
+// 100+ is reserved for tests): C carries the value, accounted like the old
+// boxed 32-bit item plus its 2-bit envelope.
+const testItemKind uint16 = 120
 
-func (m intItem) Bits() int { return 32 }
-func (m intItem) Less(o Item) bool {
-	return m.v < o.(intItem).v
+func init() { congest.RegisterWireKind(testItemKind, 32+2) }
+
+func intItem(v int) congest.Wire { return congest.Wire{Kind: testItemKind, C: int64(v)} }
+
+func intItemCmp(a, b congest.Wire) int {
+	switch {
+	case a.C < b.C:
+		return -1
+	case a.C > b.C:
+		return 1
+	default:
+		return 0
+	}
 }
+
+// tokMsg is a boxed RunQuiet payload (the quiescence driver still carries
+// arbitrary Messages).
+type tokMsg struct{ v int }
+
+func (tokMsg) Bits() int { return 32 }
 
 type results struct {
 	mu    sync.Mutex
 	trees map[int]*Tree
-	items map[int][]Item
+	items map[int][]congest.Wire
 	vals  map[int]int64
 	bfs   map[int]BFResult
 }
@@ -28,7 +47,7 @@ type results struct {
 func newResults() *results {
 	return &results{
 		trees: make(map[int]*Tree),
-		items: make(map[int][]Item),
+		items: make(map[int][]congest.Wire),
 		vals:  make(map[int]int64),
 		bfs:   make(map[int]BFResult),
 	}
@@ -99,8 +118,8 @@ func TestUpcastBroadcastCollectsSorted(t *testing.T) {
 	res := newResults()
 	_, err := congest.Run(g, func(h *congest.Host) {
 		tr := BuildBFS(h)
-		local := []Item{intItem{v: 100 - h.ID()}, intItem{v: h.ID()}}
-		got := UpcastBroadcast(h, tr, local, nil, nil)
+		local := []congest.Wire{intItem(100 - h.ID()), intItem(h.ID())}
+		got := UpcastBroadcast(h, tr, local, intItemCmp, nil, nil)
 		res.mu.Lock()
 		res.items[h.ID()] = got
 		res.mu.Unlock()
@@ -115,12 +134,12 @@ func TestUpcastBroadcastCollectsSorted(t *testing.T) {
 			t.Fatalf("node %d: %d items, want %d", v, len(got), want)
 		}
 		for i := 1; i < len(got); i++ {
-			if got[i].Less(got[i-1]) {
+			if intItemCmp(got[i], got[i-1]) < 0 {
 				t.Fatalf("node %d: stream not sorted at %d", v, i)
 			}
 		}
 		for i, it := range got {
-			if it.(intItem) != res.items[0][i].(intItem) {
+			if it != res.items[0][i] {
 				t.Fatalf("node %d disagrees with node 0 at %d", v, i)
 			}
 		}
@@ -132,13 +151,13 @@ func TestUpcastBroadcastFilterAndStop(t *testing.T) {
 	res := newResults()
 	_, err := congest.Run(g, func(h *congest.Host) {
 		tr := BuildBFS(h)
-		local := []Item{intItem{v: h.ID()}}
+		local := []congest.Wire{intItem(h.ID())}
 		// Filter: drop odd values; stop after (and including) value 6.
 		newFilter := func() Filter {
-			return func(x Item) bool { return x.(intItem).v%2 == 0 }
+			return func(x congest.Wire) bool { return x.C%2 == 0 }
 		}
-		stop := func(x Item) bool { return x.(intItem).v >= 6 }
-		got := UpcastBroadcast(h, tr, local, newFilter, stop)
+		stop := func(x congest.Wire) bool { return x.C >= 6 }
+		got := UpcastBroadcast(h, tr, local, intItemCmp, newFilter, stop)
 		res.mu.Lock()
 		res.items[h.ID()] = got
 		res.mu.Unlock()
@@ -146,15 +165,15 @@ func TestUpcastBroadcastFilterAndStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []int{0, 2, 4, 6}
+	want := []int64{0, 2, 4, 6}
 	for v := 0; v < g.N(); v++ {
 		got := res.items[v]
 		if len(got) != len(want) {
 			t.Fatalf("node %d: items %v, want %v", v, got, want)
 		}
 		for i, w := range want {
-			if got[i].(intItem).v != w {
-				t.Fatalf("node %d: item %d = %d, want %d", v, i, got[i].(intItem).v, w)
+			if got[i].C != w {
+				t.Fatalf("node %d: item %d = %d, want %d", v, i, got[i].C, w)
 			}
 		}
 	}
@@ -166,14 +185,14 @@ func TestMaxAndBroadcastList(t *testing.T) {
 	_, err := congest.Run(g, func(h *congest.Host) {
 		tr := BuildBFS(h)
 		m := Max(h, tr, int64(h.ID()*h.ID()))
-		var items []congest.Message
+		var items []congest.Wire
 		if tr.IsRoot() {
-			items = []congest.Message{intItem{v: 41}, intItem{v: 7}}
+			items = []congest.Wire{intItem(41), intItem(7)}
 		}
 		got := BroadcastList(h, tr, items)
 		res.mu.Lock()
 		res.vals[h.ID()] = m
-		res.items[h.ID()] = []Item{got[0].(intItem), got[1].(intItem)}
+		res.items[h.ID()] = []congest.Wire{got[0], got[1]}
 		res.mu.Unlock()
 	})
 	if err != nil {
@@ -184,7 +203,7 @@ func TestMaxAndBroadcastList(t *testing.T) {
 		if res.vals[v] != wantMax {
 			t.Fatalf("node %d: max %d, want %d", v, res.vals[v], wantMax)
 		}
-		if res.items[v][0].(intItem).v != 41 || res.items[v][1].(intItem).v != 7 {
+		if res.items[v][0].C != 41 || res.items[v][1].C != 7 {
 			t.Fatalf("node %d: broadcast list %v out of order", v, res.items[v])
 		}
 	}
@@ -236,7 +255,7 @@ func TestRunQuietTokenDiffusion(t *testing.T) {
 		has := h.ID() == 0
 		step := func(_ int, in []congest.Recv) ([]congest.Send, bool) {
 			for _, rc := range in {
-				if _, ok := rc.Msg.(intItem); ok {
+				if _, ok := rc.Msg.(tokMsg); ok {
 					has = true
 				}
 			}
@@ -245,7 +264,7 @@ func TestRunQuietTokenDiffusion(t *testing.T) {
 			}
 			if p, ok := h.PortOf(h.ID() + 1); ok {
 				has = false
-				return []congest.Send{{Port: p, Msg: intItem{v: 1}}}, false
+				return []congest.Send{{Port: p, Msg: tokMsg{v: 1}}}, false
 			}
 			return nil, false // right end: keep it
 		}

@@ -1,0 +1,41 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"steinerforest/internal/rational"
+)
+
+// randQ draws a dyadic within the supported range: numerator up to ~2^40,
+// denominator a power of two up to 2^20.
+func randQ(rng *rand.Rand) rational.Q {
+	num := rng.Int63n(1 << 40)
+	if rng.Intn(2) == 0 {
+		num = -num
+	}
+	return rational.New(num, int64(1)<<uint(rng.Intn(21)))
+}
+
+// TestEncodeQRoundTrip: EncodeQ/DecodeQ are exact inverses over the dyadic
+// range, and EncodedQBits reproduces Q.Bits from the encoded form alone —
+// the property that keeps wire-kind widths bit-identical to the boxed
+// accounting they replaced.
+func TestEncodeQRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		q := randQ(rng)
+		b, c := EncodeQ(q)
+		if got := DecodeQ(b, c); got.Cmp(q) != 0 {
+			t.Fatalf("round trip: %s -> (%d, %d) -> %s", q, b, c, got)
+		}
+		if got, want := EncodedQBits(b, c), q.Bits(); got != want {
+			t.Fatalf("width of %s: EncodedQBits = %d, Q.Bits = %d", q, got, want)
+		}
+	}
+	// The zero value encodes and decodes like any other dyadic.
+	b, c := EncodeQ(rational.Q{})
+	if got := DecodeQ(b, c); !got.IsZero() {
+		t.Fatalf("zero round trip: %s", got)
+	}
+}

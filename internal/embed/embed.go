@@ -96,31 +96,44 @@ func (e *Embedding) Ancestor(i int) (Entry, bool) {
 	return best, false
 }
 
-// leMsg propagates one LE-list entry.
-type leMsg struct {
-	node int
-	rank int64
-	dist int64
+// Wire kinds of this package (range 32-39 of the congest.Wire partition).
+// Widths match the former boxed forms (the collected/broadcast kinds
+// include the 2 envelope header bits), so the migration leaves Stats
+// bit-identical.
+const (
+	// wireBeta broadcasts the shared growth factor numerator
+	// (β = 1 + C/1024).
+	wireBeta uint16 = 32
+	// wireSRank collects the highest-rank nodes, descending: C = rank
+	// value, A = node.
+	wireSRank uint16 = 33
+	// wireLE propagates one LE-list entry through the relaxation: A = the
+	// entry's node, C = its rank value, D = its distance from the sender.
+	wireLE uint16 = 34
+)
+
+func init() {
+	congest.RegisterWireKind(wireBeta, 16+2)
+	congest.RegisterWireKind(wireSRank, 64+24+2)
+	congest.RegisterWireKind(wireLE, 24+64+64)
 }
 
-func (m leMsg) Bits() int { return 24 + 64 + 64 }
-
-// betaMsg broadcasts the shared growth factor numerator (β = 1 + num/1024).
-type betaMsg struct {
-	num int64
-}
-
-func (m betaMsg) Bits() int { return 16 }
-
-// sRankItem collects the highest-rank nodes (descending order).
-type sRankItem struct {
-	rank Rank
-}
-
-func (m sRankItem) Bits() int { return 64 + 24 }
-func (m sRankItem) Less(o dist.Item) bool {
-	x := o.(sRankItem)
-	return x.rank.Less(m.rank) // reversed: highest rank first
+// sRankCmp orders rank announcements descending (highest rank first), the
+// order the S election truncates.
+func sRankCmp(a, b congest.Wire) int {
+	if a.C != b.C {
+		if a.C > b.C {
+			return -1
+		}
+		return 1
+	}
+	if a.A != b.A {
+		if a.A > b.A {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // Options configures the construction.
@@ -139,12 +152,12 @@ func Build(h *congest.Host, t *dist.Tree, opts Options) *Embedding {
 		NextHop: make(map[int]int),
 	}
 	// β = 1 + num/1024 with num drawn at the root and broadcast.
-	var items []congest.Message
+	var items []congest.Wire
 	if t.IsRoot() {
-		items = []congest.Message{betaMsg{num: h.Rand().Int63n(1024)}}
+		items = []congest.Wire{{Kind: wireBeta, C: h.Rand().Int63n(1024)}}
 	}
 	got := dist.BroadcastList(h, t, items)
-	emb.Beta = rational.FromInt(1).Add(rational.New(got[0].(betaMsg).num, 1024))
+	emb.Beta = rational.FromInt(1).Add(rational.New(got[0].C, 1024))
 	// L = ceil(log2(n * maxW)) bounds log2 of the weighted diameter.
 	var maxW int64 = 1
 	for p := 0; p < h.Degree(); p++ {
@@ -174,13 +187,13 @@ func buildS(h *congest.Host, t *dist.Tree, emb *Embedding) {
 	}
 	count := 0
 	sItems := dist.UpcastBroadcast(h, t,
-		[]dist.Item{sRankItem{rank: emb.Rank}}, nil,
-		func(dist.Item) bool { count++; return count >= target })
+		[]congest.Wire{{Kind: wireSRank, A: uint32(h.ID()), C: emb.Rank.Value}}, sRankCmp, nil,
+		func(congest.Wire) bool { count++; return count >= target })
 	inS := false
 	for _, it := range sItems {
-		r := it.(sRankItem).rank
-		emb.S = append(emb.S, r.Node)
-		if r.Node == h.ID() {
+		node := int(it.A)
+		emb.S = append(emb.S, node)
+		if node == h.ID() {
 			inS = true
 		}
 	}
@@ -226,19 +239,19 @@ func runLELists(h *congest.Host, t *dist.Tree, emb *Embedding) {
 
 	step := func(r int, in []congest.Recv) ([]congest.Send, bool) {
 		for _, rc := range in {
-			m, ok := rc.Msg.(leMsg)
-			if !ok {
+			if rc.Wire.Kind != wireLE {
 				continue
 			}
+			node := int(rc.Wire.A)
 			cand := listEntry{
-				rank: Rank{Value: m.rank, Node: m.node},
-				dist: m.dist + h.Weight(rc.Port),
+				rank: Rank{Value: rc.Wire.C, Node: node},
+				dist: rc.Wire.D + h.Weight(rc.Port),
 				port: rc.Port,
 			}
 			if censored(cand.dist) {
 				continue
 			}
-			cur, present := list[m.node]
+			cur, present := list[node]
 			if present && cur.dist <= cand.dist {
 				continue
 			}
@@ -246,16 +259,16 @@ func runLELists(h *congest.Host, t *dist.Tree, emb *Embedding) {
 				continue
 			}
 			// Accept: insert/improve, prune entries it dominates.
-			list[m.node] = cand
-			emb.NextHop[m.node] = cand.port
+			list[node] = cand
+			emb.NextHop[node] = cand.port
 			for id, ent := range list {
-				if id != m.node && cand.dist <= ent.dist && ent.rank.Less(cand.rank) {
+				if id != node && cand.dist <= ent.dist && ent.rank.Less(cand.rank) {
 					delete(list, id)
 				}
 			}
-			if !queued[m.node] {
-				queued[m.node] = true
-				queue = append(queue, m.node)
+			if !queued[node] {
+				queued[node] = true
+				queue = append(queue, node)
 			}
 		}
 		if len(queue) == 0 {
@@ -270,7 +283,7 @@ func runLELists(h *congest.Host, t *dist.Tree, emb *Embedding) {
 		}
 		out := make([]congest.Send, 0, h.Degree())
 		for p := 0; p < h.Degree(); p++ {
-			out = append(out, congest.Send{Port: p, Msg: leMsg{node: id, rank: ent.rank.Value, dist: ent.dist}})
+			out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireLE, A: uint32(id), C: ent.rank.Value, D: ent.dist}})
 		}
 		return out, true
 	}

@@ -94,39 +94,60 @@ func (o *sharedOutput) mark(edgeIndex int) {
 	o.selected.Add(edgeIndex)
 }
 
-// labelItem announces that some node holds label lbl; the collection filter
-// keeps at most two per label, enough to detect singletons (Step 3a) and to
-// enumerate the global label set.
-type labelItem struct {
-	lbl  int
-	node int
-}
-
-func (m labelItem) Bits() int { return 2 * 24 }
-func (m labelItem) Less(o dist.Item) bool {
-	x := o.(labelItem)
-	if m.lbl != x.lbl {
-		return m.lbl < x.lbl
-	}
-	return m.node < x.node
-}
-
-// Wire kinds of the per-round messages (range 24-31 is reserved for this
-// package). A route message carries label C toward virtual-tree
-// destination A (Step 3c); a delegation message retraces chain (key B,
-// dst A) handing over label C (Step 3d); the token walks up Voronoi trees
-// during second-stage edge marking. Widths match the former boxed forms:
-// two resp. three 24-bit ids, 2 bits for the token.
+// Wire kinds of this package (range 24-31 of the congest.Wire partition).
+// A route message carries label C toward virtual-tree destination A
+// (Step 3c); a delegation message retraces chain (key B, dst A) handing
+// over label C (Step 3d); the token walks up Voronoi trees during
+// second-stage edge marking. The collected item kinds — label census
+// entries, (cell, label) pairs, boundary proposals — and the Voronoi view
+// exchange ride inline wires too, with widths matching the former boxed
+// forms (collected kinds include the 2 envelope header bits), so the
+// migration leaves Stats bit-identical.
 const (
 	wireRoute uint16 = 24
 	wireDeleg uint16 = 25
 	wireToken uint16 = 26
+	// wireLabel announces that node B holds label A; the collection filter
+	// keeps at most two per label, enough to detect singletons (Step 3a)
+	// and to enumerate the global label set.
+	wireLabel uint16 = 27
+	// wireCellLabel links super-terminal cell A with hosted label index B.
+	wireCellLabel uint16 = 28
+	// wireBoundary proposes an inter-cell connection: A = cell cu,
+	// B = weight denominator exponent | cell cv << 8, C = weight numerator,
+	// D = inducing edge endpoints eu << 32 | ev.
+	wireBoundary uint16 = 29
+	// wireVor announces a node's Voronoi cell A and distance (B, C) for
+	// boundary-edge discovery.
+	wireVor uint16 = 30
 )
 
 func init() {
 	congest.RegisterWireKind(wireRoute, 2*24)
 	congest.RegisterWireKind(wireDeleg, 3*24)
 	congest.RegisterWireKind(wireToken, 2)
+	congest.RegisterWireKind(wireLabel, 2*24+2)
+	congest.RegisterWireKind(wireCellLabel, 2*24+2)
+	congest.RegisterWireKindFunc(wireBoundary, boundaryWireBits)
+	congest.RegisterWireKindFunc(wireVor, vorWireBits)
+}
+
+// pairCmp orders two-id items by (A, B) ascending — the label census and
+// (cell, label) streams.
+func pairCmp(a, b congest.Wire) int {
+	if a.A != b.A {
+		if a.A < b.A {
+			return -1
+		}
+		return 1
+	}
+	if a.B != b.B {
+		if a.B < b.B {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 type nodeState struct {
@@ -183,9 +204,9 @@ func (ns *nodeState) run() {
 // replace the per-item map the filter used to keep.
 func capTwoPerLabel() dist.Filter {
 	first := true
-	last, run := 0, 0
-	return func(x dist.Item) bool {
-		lbl := x.(labelItem).lbl
+	last, run := uint32(0), 0
+	return func(x congest.Wire) bool {
+		lbl := x.A
 		if first || lbl != last {
 			first, last, run = false, lbl, 1
 			return true
@@ -201,19 +222,19 @@ func capTwoPerLabel() dist.Filter {
 // collectLabels learns the global label set with at most two witnesses per
 // label (O(k + D) rounds).
 func (ns *nodeState) collectLabels() {
-	var local []dist.Item
+	var local []congest.Wire
 	if ns.label != steiner.NoLabel {
-		local = append(local, labelItem{lbl: ns.label, node: ns.h.ID()})
+		local = append(local, congest.Wire{Kind: wireLabel, A: uint32(ns.label), B: uint32(ns.h.ID())})
 	}
-	got := dist.UpcastBroadcast(ns.h, ns.t, local, capTwoPerLabel, nil)
+	got := dist.UpcastBroadcast(ns.h, ns.t, local, pairCmp, capTwoPerLabel, nil)
 	// The stream is (lbl, node)-sorted: one pass over its runs yields the
 	// ascending label set.
 	for i := 0; i < len(got); {
-		lbl := got[i].(labelItem).lbl
-		for i < len(got) && got[i].(labelItem).lbl == lbl {
+		lbl := got[i].A
+		for i < len(got) && got[i].A == lbl {
 			i++
 		}
-		ns.labels = append(ns.labels, lbl)
+		ns.labels = append(ns.labels, int(lbl))
 	}
 }
 
@@ -240,18 +261,18 @@ func (ns *nodeState) stageOne(l []int) {
 		// Step 3a: drop labels held by a single node. The collected stream
 		// is (lbl, node)-sorted, so the census is a run-length pass and the
 		// surviving set an in-place sorted intersection — no per-level maps.
-		local := make([]dist.Item, 0, len(l))
+		local := make([]congest.Wire, 0, len(l))
 		for _, lbl := range l {
-			local = append(local, labelItem{lbl: lbl, node: h.ID()})
+			local = append(local, congest.Wire{Kind: wireLabel, A: uint32(lbl), B: uint32(h.ID())})
 		}
-		got := dist.UpcastBroadcast(h, ns.t, local, capTwoPerLabel, nil)
+		got := dist.UpcastBroadcast(h, ns.t, local, pairCmp, capTwoPerLabel, nil)
 		anyLive := false
 		kept := l[:0] // in-place: writes trail the read cursor
 		li := 0
 		for i2 := 0; i2 < len(got); {
-			lbl := got[i2].(labelItem).lbl
+			lbl := int(got[i2].A)
 			j := i2
-			for j < len(got) && got[j].(labelItem).lbl == lbl {
+			for j < len(got) && int(got[j].A) == lbl {
 				j++
 			}
 			if j-i2 >= 2 {

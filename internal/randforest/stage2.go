@@ -24,58 +24,31 @@ import (
 // the centralized moat-growing 2-approximation on the identical cell metric,
 // and the chosen cell paths are marked back into G along the Voronoi trees.
 
-// cellLabelItem links a super-terminal cell with an input label it hosts;
-// the bipartite forest of accepted items yields the helper-graph components
-// (Λ, E_Λ) of the paper, i.e. the reduced labels λ̂ (Lemma G.12).
-type cellLabelItem struct {
-	cell   int
-	lblIdx int
+// The (cell, label) pairs collected here (wireCellLabel) link a
+// super-terminal cell with an input label it hosts; the bipartite forest
+// of accepted items yields the helper-graph components (Λ, E_Λ) of the
+// paper, i.e. the reduced labels λ̂ (Lemma G.12). Boundary proposals
+// (wireBoundary) carry the lightest known connection between two Voronoi
+// cells — dist(cellU side) + edge + dist(cellV side) — with the inducing
+// graph edge packed into D.
+
+// boundaryItem is the decoded form of a wireBoundary proposal: U/V are
+// the two cell ids, EU/EV the inducing edge. The codec and comparator are
+// dist's shared EdgeItem ones (detforest's candidate merges use the same
+// shape).
+type boundaryItem = dist.EdgeItem
+
+// boundaryWireBits accounts a boundary item exactly as the boxed form plus
+// its pipeline envelope did: weight + four 24-bit ids + 2 envelope bits.
+func boundaryWireBits(w congest.Wire) int {
+	return dist.EdgeItemBits(w) + 2
 }
 
-func (m cellLabelItem) Bits() int { return 2 * 24 }
-func (m cellLabelItem) Less(o dist.Item) bool {
-	x := o.(cellLabelItem)
-	if m.cell != x.cell {
-		return m.cell < x.cell
-	}
-	return m.lblIdx < x.lblIdx
+// vorWireBits accounts the Voronoi view exchange as vorMsg did: a 24-bit
+// cell id plus the dyadic distance.
+func vorWireBits(w congest.Wire) int {
+	return 24 + dist.EncodedQBits(w.B, w.C)
 }
-
-// boundaryItem proposes the lightest known connection between two Voronoi
-// cells: dist(cellU side) + edge + dist(cellV side), induced by graph edge
-// {eu, ev}.
-type boundaryItem struct {
-	weight rational.Q
-	cu, cv int // cell ids, cu < cv
-	eu, ev int // inducing edge endpoints, eu < ev
-}
-
-func (m boundaryItem) Bits() int { return m.weight.Bits() + 4*24 }
-func (m boundaryItem) Less(o dist.Item) bool {
-	x := o.(boundaryItem)
-	if c := m.weight.Cmp(x.weight); c != 0 {
-		return c < 0
-	}
-	if m.cu != x.cu {
-		return m.cu < x.cu
-	}
-	if m.cv != x.cv {
-		return m.cv < x.cv
-	}
-	if m.eu != x.eu {
-		return m.eu < x.eu
-	}
-	return m.ev < x.ev
-}
-
-// vorMsg announces a node's Voronoi cell and distance for boundary-edge
-// discovery.
-type vorMsg struct {
-	cell int
-	d    rational.Q
-}
-
-func (m vorMsg) Bits() int { return 24 + m.d.Bits() }
 
 func (ns *nodeState) stageTwo() {
 	h := ns.h
@@ -101,25 +74,23 @@ func (ns *nodeState) stageTwo() {
 	for i, l := range ns.labels {
 		lblIdx[l] = i
 	}
-	var local []dist.Item
+	var local []congest.Wire
 	if ns.label != steiner.NoLabel && cell >= 0 {
-		local = append(local, cellLabelItem{cell: cell, lblIdx: lblIdx[ns.label]})
+		local = append(local, congest.Wire{Kind: wireCellLabel, A: uint32(cell), B: uint32(lblIdx[ns.label])})
 	}
 	n := h.N()
 	newFilter := func() dist.Filter {
 		uf := graph.NewUnionFind(n + len(ns.labels))
-		return func(x dist.Item) bool {
-			it := x.(cellLabelItem)
-			return uf.Union(it.cell, n+it.lblIdx)
+		return func(x congest.Wire) bool {
+			return uf.Union(int(x.A), n+int(x.B))
 		}
 	}
-	pairs := dist.UpcastBroadcast(h, ns.t, local, newFilter, nil)
+	pairs := dist.UpcastBroadcast(h, ns.t, local, pairCmp, newFilter, nil)
 	comp := graph.NewUnionFind(n + len(ns.labels))
 	cellSet := map[int]bool{}
 	for _, x := range pairs {
-		it := x.(cellLabelItem)
-		comp.Union(it.cell, n+it.lblIdx)
-		cellSet[it.cell] = true
+		comp.Union(int(x.A), n+int(x.B))
+		cellSet[int(x.A)] = true
 	}
 	cells := make([]int, 0, len(cellSet))
 	for c := range cellSet {
@@ -143,17 +114,19 @@ func (ns *nodeState) stageTwo() {
 	// induced inter-cell connections.
 	deg := h.Degree()
 	out := make([]congest.Send, 0, deg)
+	vb, vc := dist.EncodeQ(vor.Dist)
 	for p := 0; p < deg; p++ {
-		out = append(out, congest.Send{Port: p, Msg: vorMsg{cell: vor.Source, d: vor.Dist}})
+		out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireVor, A: uint32(vor.Source), B: vb, C: vc}})
 	}
-	var props []dist.Item
+	var props []congest.Wire
 	for _, rc := range h.Exchange(out) {
-		m := rc.Msg.(vorMsg)
-		if m.cell == vor.Source {
+		mcell := int(rc.Wire.A)
+		if mcell == vor.Source {
 			continue
 		}
-		w := vor.Dist.Add(rational.FromInt(h.Weight(rc.Port))).Add(m.d)
-		cu, cv := vor.Source, m.cell
+		md := dist.DecodeQ(rc.Wire.B, rc.Wire.C)
+		w := vor.Dist.Add(rational.FromInt(h.Weight(rc.Port))).Add(md)
+		cu, cv := vor.Source, mcell
 		if cu > cv {
 			cu, cv = cv, cu
 		}
@@ -161,16 +134,15 @@ func (ns *nodeState) stageTwo() {
 		if eu > ev {
 			eu, ev = ev, eu
 		}
-		props = append(props, boundaryItem{weight: w, cu: cu, cv: cv, eu: eu, ev: ev})
+		props = append(props, boundaryItem{Weight: w, U: cu, V: cv, EU: eu, EV: ev}.Wire(wireBoundary))
 	}
 	bFilter := func() dist.Filter {
 		uf := graph.NewUnionFind(n)
-		return func(x dist.Item) bool {
-			it := x.(boundaryItem)
-			return uf.Union(it.cu, it.cv)
+		return func(x congest.Wire) bool {
+			return uf.Union(int(x.A), int(x.B>>8))
 		}
 	}
-	boundary := dist.UpcastBroadcast(h, ns.t, props, bFilter, nil)
+	boundary := dist.UpcastBroadcast(h, ns.t, props, dist.EdgeItemCmp, bFilter, nil)
 
 	// (d) Identical local solve of the reduced instance on the cell metric.
 	cellIdx := make(map[int]int, len(cells))
@@ -181,18 +153,18 @@ func (ns *nodeState) stageTwo() {
 	type viaEdge struct{ eu, ev int }
 	via := make(map[int]viaEdge, len(boundary))
 	for _, x := range boundary {
-		it := x.(boundaryItem)
-		iu, okU := cellIdx[it.cu]
-		iv, okV := cellIdx[it.cv]
+		it := dist.EdgeItemFromWire(x)
+		iu, okU := cellIdx[it.U]
+		iv, okV := cellIdx[it.V]
 		if !okU || !okV {
 			continue // boundary between cells hosting no terminals
 		}
-		w := it.weight.Ceil()
+		w := it.Weight.Ceil()
 		if w < 1 {
 			w = 1
 		}
 		idx := cg.AddEdge(iu, iv, w)
-		via[idx] = viaEdge{eu: it.eu, ev: it.ev}
+		via[idx] = viaEdge{eu: it.EU, ev: it.EV}
 	}
 	rins := steiner.NewInstance(cg)
 	for i, c := range cells {

@@ -1,0 +1,41 @@
+package randforest
+
+import (
+	"math/rand"
+	"testing"
+
+	"steinerforest/internal/congest"
+	"steinerforest/internal/dist"
+	"steinerforest/internal/rational"
+)
+
+// TestBoundaryWireRoundTrip: stage-two boundary proposals survive the wire
+// encoding exactly, with the width of the former boxed form plus its
+// pipeline envelope, and boundaryCmp agrees with field-wise comparison.
+func TestBoundaryWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		it := boundaryItem{
+			Weight: rational.New(rng.Int63n(1<<40), int64(1)<<uint(rng.Intn(21))),
+			U:      rng.Intn(1 << 24),
+			V:      rng.Intn(1 << 24),
+			EU:     rng.Intn(1 << 24),
+			EV:     rng.Intn(1 << 24),
+		}
+		w := it.Wire(wireBoundary)
+		if got := dist.EdgeItemFromWire(w); got != it {
+			t.Fatalf("round trip: %+v -> %+v", it, got)
+		}
+		if got, want := w.Bits(), it.Weight.Bits()+4*24+2; got != want {
+			t.Fatalf("width of %+v: %d, want %d", it, got, want)
+		}
+		if dist.EdgeItemCmp(w, w) != 0 {
+			t.Fatalf("EdgeItemCmp not reflexive on %+v", it)
+		}
+	}
+	// The label census pair kind keeps its fixed two-id width.
+	lw := congest.Wire{Kind: wireLabel, A: 5, B: 9}
+	if lw.Bits() != 2*24+2 {
+		t.Fatalf("label width %d", lw.Bits())
+	}
+}

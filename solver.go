@@ -57,6 +57,14 @@ type Spec struct {
 	// exists for those tests and for perf A/B runs.
 	NoFastPath bool
 
+	// NoWindowRelay forces the engine's window relay off: rounds whose only
+	// traffic is relay forwards between parked pipeline stages are then
+	// processed one full round at a time instead of as one batched window.
+	// Results are bit-identical either way (the equivalence and stress
+	// tests pin this); the knob exists for those tests and for perf A/B
+	// runs.
+	NoWindowRelay bool
+
 	// LegacyScheduler hosts every node program on its own goroutine (the
 	// simulator's channel-based compatibility transport) instead of the
 	// default continuation scheduler that drives suspended programs
@@ -91,6 +99,9 @@ func (s Spec) options() []congest.Option {
 	}
 	if s.NoFastPath {
 		opts = append(opts, congest.WithFastPath(false))
+	}
+	if s.NoWindowRelay {
+		opts = append(opts, congest.WithWindowRelay(false))
 	}
 	if s.LegacyScheduler {
 		opts = append(opts, congest.WithGoroutines(true))
