@@ -16,6 +16,12 @@ GO ?= go
 # guard only against a mis-recorded pair.
 TOLERANCE ?= 25
 
+# Max peak-RSS column growth (percent) the snapshot compare tolerates.
+# Looser than the elapsed gate: the high-water mark depends on GC timing,
+# but a layout regression (per-node objects creeping back in) blows well
+# past this.
+MEMTOLERANCE ?= 25
+
 .PHONY: ci build vet test race fuzz-smoke bench baseline snapshot bench-smoke bench-compare bench-gate smoke
 
 ci: build vet test race fuzz-smoke smoke bench-gate
@@ -38,6 +44,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzReadInstance -fuzztime 10s ./internal/workload
 	$(GO) test -run xxx -fuzz FuzzCandWire -fuzztime 5s ./internal/detforest
+	$(GO) test -run xxx -fuzz FuzzFreezeAddEdge -fuzztime 5s ./internal/graph
 
 # Benchmark suite: experiment tables at reduced scale plus the engine
 # allocation profile (BenchmarkEngineFlood reports allocs/op; the
@@ -53,22 +60,24 @@ baseline:
 	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
 
 snapshot:
-	$(GO) run ./cmd/dsfbench -json > BENCH_pr5.json
+	$(GO) run ./cmd/dsfbench -json > BENCH_pr6.json
 
 # Short-mode run of the scheduler experiments: asserts the fast paths
 # (E2) and the continuation scheduler (E3) stay bit-identical to their
 # exchange-loop / goroutine-transport references on every solver.
 bench-smoke:
-	$(GO) run ./cmd/dsfbench -quick -table e2 -json >/dev/null
-	$(GO) run ./cmd/dsfbench -quick -table e3 -json >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table e2 -json -memprofile bench-e2-heap.pprof >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table e3 -json -memprofile bench-e3-heap.pprof >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table e5 -json -memprofile bench-e5-heap.pprof >/dev/null
 
 # Gate perf changes against the committed snapshots: the correctness
 # columns (rounds, weights, ratios, feasibility) must match exactly; the
 # recorded per-table elapsed times may not regress beyond the tolerance,
-# and the timing summary prints the per-column perf trajectory. The report
+# the peak-RSS columns may not grow beyond MEMTOLERANCE percent, and the
+# timing summary prints the per-column perf trajectory. The report
 # is also written to a file so CI can attach it as an artifact on failure.
 bench-compare:
-	$(GO) run ./cmd/dsfbench -compare -tolerance $(TOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr5.json
+	$(GO) run ./cmd/dsfbench -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr6.json
 
 # The CI bench job: fresh scheduler-identity smoke plus the snapshot gate.
 bench-gate: bench-smoke bench-compare

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	dsfbench [-table all|t1|...|e4] [-quick] [-large] [-json]
+//	dsfbench [-table all|t1|...|e5] [-quick] [-large] [-huge] [-json]
 //	         [-cpuprofile f] [-memprofile f]
-//	dsfbench -compare old.json new.json [-tolerance pct] [-report f]
+//	dsfbench -compare old.json new.json [-tolerance pct] [-memtolerance pct] [-report f]
 //
 // With -json the results are emitted as a machine-readable array of table
 // objects ({id, title, claim, header, rows, notes, elapsed_ms}), so the
@@ -47,9 +47,11 @@ func run() int {
 		"experiment to run (all, "+strings.Join(keys, ", ")+")")
 	quick := flag.Bool("quick", false, "shrink instance sizes for a fast smoke run")
 	large := flag.Bool("large", false, "add the opt-in large-scale rows (n=2048+) to the E2/E3 scheduler tables")
+	huge := flag.Bool("huge", false, "add the opt-in n=10^6 rows to the E5 scale table")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	compare := flag.Bool("compare", false, "compare two -json snapshots (old.json new.json) instead of running")
 	tolerance := flag.Float64("tolerance", 10, "with -compare: max per-table elapsed_ms regression, in percent")
+	memTolerance := flag.Float64("memtolerance", 25, "with -compare: max peak-RSS column growth, in percent")
 	report := flag.String("report", "", "with -compare: also write the report to this file (for CI artifacts)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
@@ -60,9 +62,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "dsfbench: -compare needs exactly two snapshot files (old.json new.json)")
 			return 2
 		}
-		return runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *report)
+		return runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *memTolerance, *report)
 	}
 	bench.Large = *large
+	bench.Huge = *huge
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -134,7 +137,7 @@ func run() int {
 	return 0
 }
 
-func runCompare(oldPath, newPath string, tolerance float64, reportPath string) int {
+func runCompare(oldPath, newPath string, tolerance, memTolerance float64, reportPath string) int {
 	load := func(path string) ([]*bench.Table, bool) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -156,7 +159,7 @@ func runCompare(oldPath, newPath string, tolerance float64, reportPath string) i
 	if !ok {
 		return 2
 	}
-	res := bench.Compare(old, cur, tolerance)
+	res := bench.Compare(old, cur, tolerance, memTolerance)
 	fmt.Print(res.Report)
 	if reportPath != "" {
 		if err := os.WriteFile(reportPath, []byte(res.Report), 0o644); err != nil {
@@ -169,7 +172,7 @@ func runCompare(oldPath, newPath string, tolerance float64, reportPath string) i
 		fmt.Fprintln(os.Stderr, "dsfbench: correctness drift between snapshots")
 		return 1
 	case res.Regression:
-		fmt.Fprintf(os.Stderr, "dsfbench: elapsed-time regression beyond %.0f%%\n", tolerance)
+		fmt.Fprintf(os.Stderr, "dsfbench: elapsed-time regression beyond %.0f%% or peak-RSS growth beyond %.0f%%\n", tolerance, memTolerance)
 		return 1
 	}
 	return 0

@@ -33,12 +33,21 @@ func timingColumn(tableID, header string) bool {
 	return false
 }
 
+// memoryColumn reports whether a column holds peak-RSS values: excluded
+// from the exact-match drift check (allocator and GC timing jitter the
+// exact number) but gated by its own relative tolerance in Compare, so a
+// memory regression fails the snapshot diff like a time regression does.
+func memoryColumn(header string) bool {
+	return strings.Contains(header, "RSS")
+}
+
 // Compare diffs two snapshots produced by dsfbench -json: per shared
-// table, every non-timing cell must be identical (drift otherwise), and
-// elapsed_ms may not regress by more than tolerance percent. Tables
-// present on only one side are reported but are neither drift nor
+// table, every non-timing cell must be identical (drift otherwise),
+// elapsed_ms may not regress by more than tolerance percent, and memory
+// columns (peak RSS) may not grow by more than memTolerance percent.
+// Tables present on only one side are reported but are neither drift nor
 // regression — new experiments are expected to appear over time.
-func Compare(old, new []*Table, tolerance float64) CompareResult {
+func Compare(old, new []*Table, tolerance, memTolerance float64) CompareResult {
 	var b strings.Builder
 	res := CompareResult{}
 	newByID := make(map[string]*Table, len(new))
@@ -60,6 +69,7 @@ func Compare(old, new []*Table, tolerance float64) CompareResult {
 		if drift > 0 {
 			res.Drift = true
 		}
+		mem := compareMemory(&b, ot, nt, memTolerance)
 		delta := 0.0
 		if ot.ElapsedMS > 0 {
 			delta = (nt.ElapsedMS - ot.ElapsedMS) / ot.ElapsedMS * 100
@@ -67,6 +77,9 @@ func Compare(old, new []*Table, tolerance float64) CompareResult {
 		status := "ok"
 		if drift > 0 {
 			status = fmt.Sprintf("DRIFT (%d cells)", drift)
+		} else if mem > 0 {
+			status = fmt.Sprintf("MEM (%d cells)", mem)
+			res.Regression = true
 		} else if delta > tolerance {
 			status = "SLOWER"
 			res.Regression = true
@@ -105,7 +118,7 @@ func summarizeTimings(b *strings.Builder, old []*Table, newByID map[string]*Tabl
 			continue
 		}
 		for c, h := range ot.Header {
-			if !timingColumn(ot.ID, h) {
+			if !timingColumn(ot.ID, h) && !memoryColumn(h) {
 				continue
 			}
 			logSum, rows := 0.0, 0
@@ -136,6 +149,37 @@ func summarizeTimings(b *strings.Builder, old []*Table, newByID map[string]*Tabl
 	}
 }
 
+// compareMemory checks every memory column of a shared table against the
+// relative tolerance and returns how many cells regressed. Cells that
+// fail to parse or are non-positive on either side (a snapshot recorded
+// on a platform without rusage) are skipped.
+func compareMemory(b *strings.Builder, ot, nt *Table, memTolerance float64) int {
+	if strings.Join(ot.Header, "|") != strings.Join(nt.Header, "|") ||
+		len(ot.Rows) != len(nt.Rows) {
+		return 0 // structural changes are already reported as drift
+	}
+	bad := 0
+	for i := range ot.Rows {
+		orow, nrow := ot.Rows[i], nt.Rows[i]
+		for c, h := range ot.Header {
+			if c >= len(orow) || c >= len(nrow) || !memoryColumn(h) {
+				continue
+			}
+			ov, oerr := strconv.ParseFloat(orow[c], 64)
+			nv, nerr := strconv.ParseFloat(nrow[c], 64)
+			if oerr != nil || nerr != nil || ov <= 0 || nv <= 0 {
+				continue
+			}
+			if nv > ov*(1+memTolerance/100) {
+				bad++
+				fmt.Fprintf(b, "  %s: row %d %q: %.1f -> %.1f (+%.0f%% > %.0f%%)\n",
+					ot.ID, i, h, ov, nv, (nv/ov-1)*100, memTolerance)
+			}
+		}
+	}
+	return bad
+}
+
 // compareTable prints per-cell correctness differences and returns how
 // many were found.
 func compareTable(b *strings.Builder, ot, nt *Table) int {
@@ -157,7 +201,7 @@ func compareTable(b *strings.Builder, ot, nt *Table) int {
 	for i := range ot.Rows {
 		orow, nrow := ot.Rows[i], nt.Rows[i]
 		for c, h := range ot.Header {
-			if c >= len(orow) || c >= len(nrow) || timingColumn(ot.ID, h) {
+			if c >= len(orow) || c >= len(nrow) || timingColumn(ot.ID, h) || memoryColumn(h) {
 				continue
 			}
 			if orow[c] != nrow[c] {

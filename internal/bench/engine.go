@@ -192,6 +192,27 @@ func E2(sc Scale) *Table {
 		// from the committed snapshots (the compare needs stable rows).
 		solverRow("det", 2048, 6)
 		solverRow("rand", 2048, 8)
+		// One n=10^5 engine-level smoke row: the idle workload at E5
+		// scale, still under the fast-on/off A/B (the off run exchanges
+		// every round on every node, so keep the cycle count low).
+		hugeN := 100_000
+		hside := 1
+		for hside*hside < hugeN {
+			hside++
+		}
+		hg := graph.Grid(hside, hside, graph.UnitWeights)
+		addRow("idle+wireflood", hg.N(), func(noFast bool) (*congest.Stats, error) {
+			return congest.Run(hg, func(h *congest.Host) {
+				out := make([]congest.Send, h.Degree())
+				for cycle := 0; cycle < 2; cycle++ {
+					h.Idle(199)
+					for p := 0; p < h.Degree(); p++ {
+						out[p] = congest.Send{Port: p, Wire: congest.Wire{Kind: benchWireKind, C: int64(cycle)}}
+					}
+					h.Exchange(out)
+				}
+			}, congest.WithFastPath(!noFast))
+		})
 	}
 	tab.Notes = append(tab.Notes,
 		"fast off = WithFastPath(false): Idle/Sleep/Standby/Relay degrade to per-round exchanges; identical=true pins bit-equal Stats",

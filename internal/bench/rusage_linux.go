@@ -1,0 +1,17 @@
+//go:build linux
+
+package bench
+
+import "syscall"
+
+// peakRSSMB returns the process's peak resident set size in MiB (Linux
+// getrusage reports ru_maxrss in KiB). It is a process-wide high-water
+// mark — monotone over the process lifetime — so a row's value reflects
+// everything run before it in the same dsfbench invocation.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024.0
+}

@@ -220,6 +220,12 @@ type Host struct {
 	wokeRound  int // written by the engine before a park wake-up resume
 	relayLastN int // written by the engine: trailing inbox size of a relay wake
 
+	// ext is the reusable parameter block for this node's parking
+	// submissions. The engine consumes a submission before resuming its
+	// node and each node has at most one in flight, so one block per host
+	// replaces a heap allocation per park/stand/relay call.
+	ext subExt
+
 	// Continuation transport (the default): yield suspends the program
 	// mid-call, handing the submission to the scheduler; resumeIn carries
 	// the inbox of the resume that follows.
@@ -271,7 +277,7 @@ func (h *Host) N() int { return h.n }
 func (h *Host) Degree() int { return len(h.ports) }
 
 // Neighbor returns the node at the far end of the given port.
-func (h *Host) Neighbor(port int) int { return h.ports[port].To }
+func (h *Host) Neighbor(port int) int { return int(h.ports[port].To) }
 
 // Weight returns the weight of the edge at the given port.
 func (h *Host) Weight(port int) int64 { return h.ports[port].Weight }
@@ -279,8 +285,8 @@ func (h *Host) Weight(port int) int64 { return h.ports[port].Weight }
 // PortOf returns the port leading to the given neighbor, if adjacent. It
 // is a binary search over the port slice (ports are sorted by neighbor).
 func (h *Host) PortOf(node int) (int, bool) {
-	i := sort.Search(len(h.ports), func(j int) bool { return h.ports[j].To >= node })
-	if i < len(h.ports) && h.ports[i].To == node {
+	i := sort.Search(len(h.ports), func(j int) bool { return h.ports[j].To >= int32(node) })
+	if i < len(h.ports) && h.ports[i].To == int32(node) {
 		return i, true
 	}
 	return 0, false
@@ -288,7 +294,7 @@ func (h *Host) PortOf(node int) (int, bool) {
 
 // EdgeIndex returns the underlying graph edge index of the given port,
 // letting node programs report which incident edges they selected.
-func (h *Host) EdgeIndex(port int) int { return h.ports[port].Index }
+func (h *Host) EdgeIndex(port int) int { return int(h.ports[port].Index) }
 
 // Round returns the number of completed communication rounds.
 func (h *Host) Round() int { return h.round }
@@ -420,8 +426,8 @@ func (h *Host) Standby(port int, beat Wire, expect int, mask uint64, maskLen int
 			}
 		}
 	}
-	in := h.transact(submission{node: h.id, kind: subStand,
-		ext: &subExt{hbPort: port, hbWire: beat, hbN: expect, hbMask: mask, hbMaskLen: maskLen}})
+	h.ext = subExt{hbPort: port, hbWire: beat, hbN: expect, hbMask: mask, hbMaskLen: maskLen}
+	in := h.transact(submission{node: h.id, kind: subStand, ext: &h.ext})
 	h.round = h.wokeRound
 	return in
 }
@@ -458,8 +464,16 @@ func (h *Host) Await(kind uint16, expect int) []Recv {
 			}
 		}
 	}
-	in := h.transact(submission{node: h.id, kind: subStand,
-		ext: &subExt{hbWire: Wire{Kind: kind}, hbN: expect, hbWait: true}})
+	if expect <= 0 {
+		// Degenerate order: the defining loop always returns by its second
+		// exchange, so run it inline instead of parking.
+		if in := h.Exchange(nil); len(in) > 0 {
+			return in
+		}
+		return h.Exchange(nil)
+	}
+	h.ext = subExt{hbWire: Wire{Kind: kind}, hbN: expect, hbWait: true}
+	in := h.transact(submission{node: h.id, kind: subStand, ext: &h.ext})
 	h.round = h.wokeRound
 	return in
 }
@@ -566,8 +580,8 @@ func (h *Host) relay(srcPort int, dstPorts []int, endKind uint16, through bool) 
 			}
 		}
 	}
-	in := h.transact(submission{node: h.id, kind: subRelay,
-		ext: &subExt{hbPort: srcPort, relayDst: dstPorts, relayEnd: endKind, relayThrough: through}})
+	h.ext = subExt{hbPort: srcPort, relayDst: dstPorts, relayEnd: endKind, relayThrough: through}
+	in := h.transact(submission{node: h.id, kind: subRelay, ext: &h.ext})
 	h.round = h.wokeRound
 	cut := len(in) - h.relayLastN
 	return in[:cut], in[cut:]
@@ -576,7 +590,8 @@ func (h *Host) relay(srcPort int, dstPorts []int, endKind uint16, through bool) 
 // park submits a park request and suspends until the engine wakes this
 // node, syncing the local round counter to the wake round.
 func (h *Host) park(wakeAt int, wakeOnMsg bool) []Recv {
-	in := h.transact(submission{node: h.id, kind: subPark, ext: &subExt{wakeAt: wakeAt, wakeOnMsg: wakeOnMsg}})
+	h.ext = subExt{wakeAt: wakeAt, wakeOnMsg: wakeOnMsg}
+	in := h.transact(submission{node: h.id, kind: subPark, ext: &h.ext})
 	h.round = h.wokeRound
 	return in
 }
@@ -597,7 +612,7 @@ const (
 // resume condition. The hot case (an exchange) must stay small — it is
 // copied by value for every node round (and through a channel on the
 // legacy transport) — so the parameters of the rare parking kinds live
-// behind a pointer allocated once per park.
+// behind a pointer into the host's reusable parameter block.
 type submission struct {
 	node int
 	kind uint8
@@ -758,7 +773,7 @@ type engine struct {
 	n     int
 	o     options
 	stats *Stats
-	hosts []*Host
+	hosts []Host // host arena: one in-place block per node
 
 	// Continuation transport: per-node resume/stop handles of the
 	// suspended programs, the per-shard submissions recorded by the drive
@@ -775,17 +790,20 @@ type engine struct {
 	parkStamp []uint32 // bumped on every park/wake; validates wake entries
 	wakeAt    []int    // parked node's deadline (-1 = none)
 	wake      wakeHeap
-	stand     []standing // per node: heartbeat order (valid when modeStand)
-	standers  []int32    // nodes currently in modeStand
-	emitters  int        // standers with a beating (non-waiting) order
-	relays    []relaying // per node: relay order (valid when modeRelay)
-	relPend   int        // relayers holding a forward due next round
-	pendList  []int32    // those relayers, in staging order (= relPend entries)
-	pendFree  []int32    // spare buffer pendList rotates through per round
-	hitRelay  []int32    // relayers delivered to this round, plus final-forward
+	stand    []standing // per node: heartbeat order (valid when modeStand); lazy
+	standIdx []int32    // beating stander's position in its emit list (-1 waiting)
+	emit     [2][]int32 // beating standers by heartbeat parity: the due lists
+	hitStand []int32    // standers delivered to this round — together with the
+	//                      round parity's due list, the only ones checkStanders
+	//                      must visit
+	relays   []relaying // per node: relay order (valid when modeRelay); lazy
+	relPend  int        // relayers holding a forward due next round
+	pendList []int32    // those relayers, in staging order (= relPend entries)
+	pendFree []int32    // spare buffer pendList rotates through per round
+	hitRelay []int32    // relayers delivered to this round, plus final-forward
 	//                      completions — the only ones checkRelayers must visit
-	runnable  int        // live nodes that will submit this round
-	live      int
+	runnable int // live nodes that will submit this round
+	live     int
 
 	window   bool     // window relay enabled (fast path on, not opted out)
 	winGen   uint32   // per-batched-round stamp for multi-delivery detection
@@ -796,15 +814,23 @@ type engine struct {
 	subs      []submission // this round's submission, indexed by node
 	shardSubs [][]int32    // per shard: nodes that exchanged this round
 	woken     [][]int32    // per shard: sleepers woken by mail this round
-	sentGen   [][]uint32   // per node per port: duplicate-send stamp
-	slots     [][]Recv     // per node per port: inbox slot
-	slotGen   [][]uint32   // stamp: slot filled this round
-	touched   [][]int32    // per node: ports filled this round (unsorted)
-	tGen      []uint32     // stamp: touched[v] reset this round
-	outBuf    [][]Recv     // per node: reusable delivery buffer
-	gen       uint32
 
-	returnPort [][]int32  // [v][port]: the far endpoint's port back to v
+	// Per-(node, port) engine tables, arena-backed: one flat array each,
+	// indexed base[v]+port over the graph's CSR offsets (base, length n+1).
+	// A node's whole scheduler footprint is a few cells in shared arrays
+	// rather than per-node objects, and an inbox is never larger than the
+	// degree, so the delivery buffers are fixed arena regions too.
+	base     []int32  // the graph's CSR offset table
+	sentGen  []uint32 // [base[v]+port]: duplicate-send stamp
+	slots    []Recv   // [base[v]+port]: inbox slot
+	slotGen  []uint32 // [base[v]+port] stamp: slot filled this round
+	touchBuf []int32  // [base[v]:base[v]+touchN[v]]: ports filled this round
+	touchN   []int32  // per node: number of ports filled this round
+	tGen     []uint32 // per node stamp: touch region reset this round
+	outArena []Recv   // [base[v]:base[v+1]]: reusable delivery buffer
+	gen      uint32
+
+	returnPort []int32    // [base[v]+port]: the far endpoint's port back to v
 	shardOf    []int32    // dst node -> shard
 	buckets    [][]routed // per shard: validated messages of this round (p > 1)
 	start      []chan struct{}
@@ -866,34 +892,39 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	}
 
 	e := &engine{
-		n:          n,
-		o:          o,
-		stats:      stats,
-		hosts:      make([]*Host, n),
-		coro:       coro,
-		mode:       make([]nodeMode, n),
-		parkStamp:  make([]uint32, n),
-		wakeAt:     make([]int, n),
-		stand:      make([]standing, n),
-		relays:     make([]relaying, n),
-		runnable:   n,
-		live:       n,
-		subs:       make([]submission, n),
-		shardSubs:  make([][]int32, p),
-		woken:      make([][]int32, p),
-		sentGen:    make([][]uint32, n),
-		slots:      make([][]Recv, n),
-		slotGen:    make([][]uint32, n),
-		touched:    make([][]int32, n),
-		tGen:       make([]uint32, n),
-		outBuf:     make([][]Recv, n),
-		gen:        1,
-		window:     !o.noWindow && !o.noFastPath,
-		winStamp:   make([]uint32, n),
-		returnPort: make([][]int32, n),
-		shardOf:    make([]int32, n),
-		buckets:    make([][]routed, p),
+		n:         n,
+		o:         o,
+		stats:     stats,
+		hosts:     make([]Host, n),
+		coro:      coro,
+		mode:      make([]nodeMode, n),
+		parkStamp: make([]uint32, n),
+		wakeAt:    make([]int, n),
+		runnable:  n,
+		live:      n,
+		subs:      make([]submission, n),
+		shardSubs: make([][]int32, p),
+		woken:     make([][]int32, p),
+		touchN:    make([]int32, n),
+		tGen:      make([]uint32, n),
+		gen:       1,
+		window:    !o.noWindow && !o.noFastPath,
+		winStamp:  make([]uint32, n),
+		shardOf:   make([]int32, n),
+		buckets:   make([][]routed, p),
 	}
+	// The engine's per-port tables are flat arenas over the graph's CSR
+	// offsets; the standing/relay order tables are allocated lazily, on the
+	// first protocol that parks a node that way.
+	base := g.Offsets()
+	e.base = base
+	P := int(base[n])
+	e.sentGen = make([]uint32, P)
+	e.slots = make([]Recv, P)
+	e.slotGen = make([]uint32, P)
+	e.touchBuf = make([]int32, P)
+	e.outArena = make([]Recv, P)
+	e.returnPort = make([]int32, P)
 	if coro {
 		e.next = make([]func() (submission, bool), n)
 		e.stopFn = make([]func(), n)
@@ -919,34 +950,24 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	// per-delivered-message binary search of PortOf.
 	firstHalf := make([]int64, g.M()) // packed (node<<32 | port) + 1; 0 = unseen
 	for v := 0; v < n; v++ {
-		ports := g.Neighbors(v)
-		e.returnPort[v] = make([]int32, len(ports))
-		for q, hf := range ports {
+		for q, hf := range g.Neighbors(v) {
 			if fh := firstHalf[hf.Index]; fh == 0 {
 				firstHalf[hf.Index] = (int64(v)<<32 | int64(q)) + 1
 			} else {
 				fv, fq := int((fh-1)>>32), int32((fh-1)&0xFFFFFFFF)
-				e.returnPort[v][q] = fq
-				e.returnPort[fv][fq] = int32(q)
+				e.returnPort[base[v]+int32(q)] = fq
+				e.returnPort[base[fv]+fq] = int32(q)
 			}
 		}
 	}
 	for v := 0; v < n; v++ {
-		ports := g.Neighbors(v)
-		h := &Host{
-			id:      v,
-			n:       n,
-			ports:   ports,
-			rngSeed: o.seed + int64(v)*0x9E3779B9,
-			fast:    !o.noFastPath,
-			coro:    coro,
-		}
-		e.hosts[v] = h
-		e.sentGen[v] = make([]uint32, len(ports))
-		e.slots[v] = make([]Recv, len(ports))
-		e.slotGen[v] = make([]uint32, len(ports))
-		e.touched[v] = make([]int32, 0, len(ports))
-		e.outBuf[v] = make([]Recv, 0, len(ports))
+		h := &e.hosts[v]
+		h.id = v
+		h.n = n
+		h.ports = g.Neighbors(v)
+		h.rngSeed = o.seed + int64(v)*0x9E3779B9
+		h.fast = !o.noFastPath
+		h.coro = coro
 		if coro {
 			e.next[v], e.stopFn[v] = iter.Pull(nodeSeq(h, program))
 		} else {
@@ -1029,6 +1050,10 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 				if x.hbMaskLen < 0 || x.hbMaskLen > 64 {
 					return fail(fmt.Errorf("congest: node %d standing by with mask length %d", v, x.hbMaskLen))
 				}
+				if e.stand == nil {
+					e.stand = make([]standing, n)
+					e.standIdx = make([]int32, n)
+				}
 				st := standing{
 					expectN:  int32(x.hbN),
 					phase:    uint8((stats.Rounds + 1) % 2),
@@ -1042,7 +1067,7 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 					// An emitting order sends on the node's behalf: validate
 					// everything now that the engine will not re-check per
 					// round.
-					h := e.hosts[v]
+					h := &e.hosts[v]
 					if x.hbPort < 0 || x.hbPort >= len(h.ports) {
 						return fail(fmt.Errorf("congest: node %d standing by on invalid port %d", v, x.hbPort))
 					}
@@ -1054,25 +1079,30 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 						return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, v))
 					}
 					st.port = int32(x.hbPort)
-					st.dst = int32(h.ports[x.hbPort].To)
-					st.dstPort = e.returnPort[v][x.hbPort]
-					st.edge = int32(h.ports[x.hbPort].Index)
+					st.dst = h.ports[x.hbPort].To
+					st.dstPort = e.returnPort[e.base[v]+int32(x.hbPort)]
+					st.edge = h.ports[x.hbPort].Index
 					st.bits = int32(b)
 				}
 				e.runnable--
 				e.mode[v] = modeStand
 				e.parkStamp[v]++
 				e.stand[v] = st
-				e.standers = append(e.standers, int32(v))
-				if !st.waiting {
-					e.emitters++
+				if st.waiting {
+					e.standIdx[v] = -1
+				} else {
+					e.standIdx[v] = int32(len(e.emit[st.phase]))
+					e.emit[st.phase] = append(e.emit[st.phase], int32(v))
 				}
 			case subRelay:
 				v := s.node
 				x := s.ext
-				h := e.hosts[v]
+				h := &e.hosts[v]
 				if x.hbPort < 0 || x.hbPort >= len(h.ports) {
 					return fail(fmt.Errorf("congest: node %d relaying from invalid port %d", v, x.hbPort))
+				}
+				if e.relays == nil {
+					e.relays = make([]relaying, n)
 				}
 				rl := &e.relays[v]
 				rl.srcPort = int32(x.hbPort)
@@ -1090,9 +1120,9 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 					}
 					prev = p
 					rl.dsts = append(rl.dsts, relayDest{
-						dst:     int32(h.ports[p].To),
-						dstPort: e.returnPort[v][p],
-						edge:    int32(h.ports[p].Index),
+						dst:     h.ports[p].To,
+						dstPort: e.returnPort[e.base[v]+int32(p)],
+						edge:    h.ports[p].Index,
 					})
 				}
 				e.runnable--
@@ -1115,7 +1145,7 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 			// are exactly the rounds in which every node would have
 			// exchanged nothing.
 			r, ok := e.nextWake()
-			if e.emitters > 0 && (!ok || r > stats.Rounds+1) {
+			if len(e.emit[0])+len(e.emit[1]) > 0 && (!ok || r > stats.Rounds+1) {
 				// All beating orders are off-parity this round, so the
 				// next heartbeat fires one round from now. (Waiting orders
 				// never fire: silent rounds cannot deviate them, so they
@@ -1135,7 +1165,7 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		if stats.Rounds >= o.maxRounds {
 			return fail(fmt.Errorf("%w (%d)", ErrRoundLimit, o.maxRounds))
 		}
-		if exch == 0 && e.relPend > 0 && e.emitters == 0 && e.window {
+		if exch == 0 && e.relPend > 0 && len(e.emit[0])+len(e.emit[1]) == 0 && e.window {
 			// Relay-only rounds: every message this round is a forward
 			// between parked pipeline stages. Drive the whole window of
 			// in-flight items engine-side, one internal pass per round,
@@ -1165,17 +1195,18 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		for w := 0; w < p; w++ {
 			for _, v32 := range e.shardSubs[w] {
 				v := int(v32)
-				h := e.hosts[v]
+				h := &e.hosts[v]
 				outs := e.subs[v].out
 				for si := range outs {
 					snd := &outs[si] // by pointer: Send is 6 words
 					if snd.Port < 0 || snd.Port >= len(h.ports) {
 						return fail(fmt.Errorf("congest: node %d sent on invalid port %d", v, snd.Port))
 					}
-					if e.sentGen[v][snd.Port] == e.gen {
+					pb := e.base[v] + int32(snd.Port)
+					if e.sentGen[pb] == e.gen {
 						return fail(fmt.Errorf("congest: node %d sent twice on port %d in one round", v, snd.Port))
 					}
-					e.sentGen[v][snd.Port] = e.gen
+					e.sentGen[pb] = e.gen
 					var b int
 					switch {
 					case snd.Msg != nil && snd.Wire.Kind != 0:
@@ -1193,8 +1224,8 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 					if b > o.bandwidth {
 						return fail(fmt.Errorf("%w: %d bits > budget %d (node %d)", ErrBandwidth, b, o.bandwidth, v))
 					}
-					e.deliver(h.ports[snd.Port].To, int(e.returnPort[v][snd.Port]),
-						h.ports[snd.Port].Index, b, snd.Msg, &snd.Wire)
+					e.deliver(int(h.ports[snd.Port].To), int(e.returnPort[pb]),
+						int(h.ports[snd.Port].Index), b, snd.Msg, &snd.Wire)
 				}
 			}
 		}
@@ -1241,32 +1272,21 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 }
 
 // heartbeatsDue reports whether any standing order fires in the round
-// about to be processed.
+// about to be processed: exactly when the round parity's due list is
+// non-empty. The per-parity due lists replace a scan over every stander.
 func (e *engine) heartbeatsDue() bool {
-	if e.emitters == 0 {
-		return false
-	}
-	parity := uint8(e.stats.Rounds % 2)
-	for _, v := range e.standers {
-		if e.stand[v].phase == parity && !e.stand[v].waiting {
-			return true
-		}
-	}
-	return false
+	return len(e.emit[e.stats.Rounds%2]) > 0
 }
 
-// emitHeartbeats performs the standing orders of this round: accounting
-// and routing as if the parked node had sent the beat itself. Runs in the
-// serial pass, so sleeping destinations are woken deterministically.
+// emitHeartbeats performs the standing orders of this round — the round
+// parity's due list, so the cost is proportional to the orders that fire,
+// not to the number of parked standers. Accounting and routing happen as
+// if the parked node had sent the beat itself. Runs in the serial pass,
+// so sleeping destinations are woken deterministically.
 func (e *engine) emitHeartbeats() {
-	parity := uint8(e.stats.Rounds % 2)
 	stats := e.stats
-	for _, v32 := range e.standers {
-		v := int(v32)
-		st := &e.stand[v]
-		if st.phase != parity || st.waiting {
-			continue
-		}
+	for _, v32 := range e.emit[stats.Rounds%2] {
+		st := &e.stand[v32]
 		if i := (stats.Rounds - st.beatBase) / 2; i < int(st.maskLen) && st.mask>>uint(i)&1 == 0 {
 			continue // masked-out ramp-up heartbeat: this slot stays silent
 		}
@@ -1307,6 +1327,13 @@ func (e *engine) deliver(dst, dstPort, edge, bits int, msg Message, wire *Wire) 
 		// its actual traffic. (Duplicate hits are fine — a woken node is
 		// skipped by its mode.)
 		e.hitRelay = append(e.hitRelay, int32(dst))
+	case modeStand:
+		// Queue the stander for checkStanders, which otherwise visits only
+		// the round parity's due list — a parked control plane costs
+		// nothing on rounds that leave it untouched. (Duplicate hits are
+		// fine — the check is idempotent and woken nodes are skipped by
+		// their mode.)
+		e.hitStand = append(e.hitStand, int32(dst))
 	}
 	if e.o.parallelism == 1 {
 		e.place(dst, dstPort, msg, wire)
@@ -1545,10 +1572,10 @@ func (e *engine) checkRelayers() {
 		rl := &e.relays[v]
 		var touched []int32
 		if e.tGen[v] == gen {
-			touched = e.touched[v]
+			touched = e.touchedOf(v)
 		}
 		if len(touched) == 1 && touched[0] == rl.srcPort && !rl.finalSent {
-			rc := e.slots[v][rl.srcPort]
+			rc := e.slots[e.base[v]+rl.srcPort]
 			isEnd := rc.Wire.Kind == rl.endKind
 			if !isEnd || rl.through {
 				rl.buf = append(rl.buf, rc)
@@ -1603,47 +1630,75 @@ func (e *engine) checkRelayers() {
 // checkStanders wakes every standing node whose inbox deviated from its
 // heartbeat expectation this round; clean heartbeat echoes are consumed
 // silently (the generation bump retires them). Runs after the shard pass,
-// when all placements of the round are visible.
+// when all placements of the round are visible. Only two sets of standers
+// can deviate: those delivered mail this round (hitStand, fed by deliver),
+// and the beating standers whose heartbeat round this was — they must see
+// exactly expectN echoes, so an empty inbox wakes them too. Every other
+// stander is provably clean and is not visited at all.
 func (e *engine) checkStanders() {
 	parity := uint8((e.stats.Rounds - 1) % 2)
-	gen := e.gen
-	for i := 0; i < len(e.standers); {
-		v := int(e.standers[i])
-		st := &e.stand[v]
-		var touched []int32
-		if e.tGen[v] == gen {
-			touched = e.touched[v]
+	for _, v32 := range e.hitStand {
+		e.checkStander(int(v32), parity)
+	}
+	e.hitStand = e.hitStand[:0]
+	// The completed round's due list; checkStander swap-removes a waking
+	// stander from it via standIdx, replacing position i with the previous
+	// tail, so i only advances when v survives.
+	due := e.emit[parity]
+	for i := 0; i < len(e.emit[parity]); {
+		v := due[i]
+		e.checkStander(int(v), parity)
+		if i < len(e.emit[parity]) && due[i] == v {
+			i++
 		}
-		ok := false
-		if st.phase == parity {
-			if st.waiting {
-				ok = len(touched) < int(st.expectN)
-			} else {
-				ok = len(touched) == int(st.expectN)
-			}
-			if ok {
-				for _, q := range touched {
-					if e.slots[v][q].Wire.Kind != st.wire.Kind {
-						ok = false
-						break
-					}
-				}
-			}
+	}
+}
+
+// checkStander applies one stander's deviation check for the completed
+// round, waking it (and retiring its due-list entry) on any inbox other
+// than its standing expectation.
+func (e *engine) checkStander(v int, parity uint8) {
+	if e.mode[v] != modeStand {
+		return // woken by an earlier duplicate hit this round
+	}
+	st := &e.stand[v]
+	var touched []int32
+	if e.tGen[v] == e.gen {
+		touched = e.touchedOf(v)
+	}
+	ok := false
+	if st.phase == parity {
+		if st.waiting {
+			ok = len(touched) < int(st.expectN)
 		} else {
-			ok = len(touched) == 0
+			ok = len(touched) == int(st.expectN)
 		}
 		if ok {
-			i++
-			continue
+			b := e.base[v]
+			for _, q := range touched {
+				if e.slots[b+q].Wire.Kind != st.wire.Kind {
+					ok = false
+					break
+				}
+			}
 		}
-		last := len(e.standers) - 1
-		e.standers[i] = e.standers[last]
-		e.standers = e.standers[:last]
-		if !st.waiting {
-			e.emitters--
-		}
-		e.wakeRun(v, e.stats.Rounds, e.inbox(v))
+	} else {
+		ok = len(touched) == 0
 	}
+	if ok {
+		return
+	}
+	if !st.waiting {
+		// Swap-remove from the parity due list, keeping standIdx exact.
+		lst := e.emit[st.phase]
+		i := e.standIdx[v]
+		last := int32(len(lst) - 1)
+		moved := lst[last]
+		lst[i] = moved
+		e.standIdx[moved] = i
+		e.emit[st.phase] = lst[:last]
+	}
+	e.wakeRun(v, e.stats.Rounds, e.inbox(v))
 }
 
 // nextWake peeks the earliest still-valid deadline, discarding entries for
@@ -1682,30 +1737,46 @@ func (e *engine) wakeValid(w wakeEntry) bool {
 	return (m == modeIdle || m == modeSleep) && e.parkStamp[w.node] == w.stamp
 }
 
-// place stores one message in its destination's inbox slot.
+// place stores one message in its destination's inbox slot. At most one
+// message reaches a given (node, port) per round — ports pair distinct
+// senders and a sender sends once per port — so the touch region never
+// outgrows its arena slice.
 func (e *engine) place(dst, dstPort int, msg Message, wire *Wire) {
 	if e.tGen[dst] != e.gen {
 		e.tGen[dst] = e.gen
-		e.touched[dst] = e.touched[dst][:0]
+		e.touchN[dst] = 0
 	}
-	e.slots[dst][dstPort] = Recv{Port: dstPort, Msg: msg, Wire: *wire}
-	e.slotGen[dst][dstPort] = e.gen
-	e.touched[dst] = append(e.touched[dst], int32(dstPort))
+	b := e.base[dst]
+	e.slots[b+int32(dstPort)] = Recv{Port: dstPort, Msg: msg, Wire: *wire}
+	e.slotGen[b+int32(dstPort)] = e.gen
+	e.touchBuf[b+e.touchN[dst]] = int32(dstPort)
+	e.touchN[dst]++
+}
+
+// touchedOf returns node v's touch region — the ports filled this round,
+// unsorted. Valid only when tGen[v] matches the current generation.
+func (e *engine) touchedOf(v int) []int32 {
+	b := e.base[v]
+	return e.touchBuf[b : b+e.touchN[v]]
 }
 
 // inbox assembles node v's port-ordered deliveries for this round into its
-// reusable buffer.
+// arena region: a round's inbox holds at most degree-many messages, so the
+// region [base[v], base[v+1]) is always large enough and the buffer never
+// grows or reallocates.
 func (e *engine) inbox(v int) []Recv {
 	gen := e.gen
-	buf := e.outBuf[v][:0]
+	b0, b1 := e.base[v], e.base[v+1]
+	buf := e.outArena[b0:b0:b1]
 	if e.tGen[v] == gen {
-		ports := e.touched[v]
-		if deg := len(e.slots[v]); len(ports)*4 >= deg {
+		ports := e.touchBuf[b0 : b0+e.touchN[v]]
+		slots := e.slots[b0:b1]
+		if deg := int(b1 - b0); len(ports)*4 >= deg {
 			// Dense round: scan the slots in port order.
-			sg := e.slotGen[v]
+			sg := e.slotGen[b0:b1]
 			for q := 0; q < deg; q++ {
 				if sg[q] == gen {
-					buf = append(buf, e.slots[v][q])
+					buf = append(buf, slots[q])
 				}
 			}
 		} else {
@@ -1716,11 +1787,10 @@ func (e *engine) inbox(v int) []Recv {
 				}
 			}
 			for _, q := range ports {
-				buf = append(buf, e.slots[v][q])
+				buf = append(buf, slots[q])
 			}
 		}
 	}
-	e.outBuf[v] = buf
 	return buf
 }
 
@@ -1791,7 +1861,7 @@ func (e *engine) collect(subCh <-chan submission) []submission {
 // the run is live: the node sequence always yields a terminal subDone or
 // subErr before returning, and finished nodes are never resumed.
 func (e *engine) resume(v, wokeRound int, in []Recv, sink *[]submission) {
-	h := e.hosts[v]
+	h := &e.hosts[v]
 	h.wokeRound = wokeRound
 	h.resumeIn = in
 	if sub, ok := e.next[v](); ok {

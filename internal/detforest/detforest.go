@@ -91,12 +91,25 @@ func solve(ins *steiner.Instance, opts []congest.Option) (*Result, error) {
 type sharedOutput struct {
 	mu       sync.Mutex
 	selected *steiner.Solution
+
+	fminOnce sync.Once
+	fminV    []candItem
 }
 
 func (o *sharedOutput) mark(edgeIndex int) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.selected.Add(edgeIndex)
+}
+
+// fmin memoizes minimalSubforest for the run: every node replays the
+// identical local computation from the globally known terminal list and
+// merge stream, so the harness computes it once and hands every node the
+// same read-only slice. Purely a simulation shortcut — no protocol state
+// flows through it.
+func (o *sharedOutput) fmin(terms []termInfo, merges []candItem) []candItem {
+	o.fminOnce.Do(func() { o.fminV = minimalSubforest(terms, merges) })
+	return o.fminV
 }
 
 // Wire kinds of this package (range 16-23 of the congest.Wire partition).
@@ -211,6 +224,35 @@ type nodeState struct {
 	eps       [2]int64 // ε as a fraction (rounded variant only)
 	phase     int
 	allMerges []candItem
+
+	// Per-phase scratch, allocated at the first phase and reused: the merge
+	// loop runs O(t) phases and every buffer here is degree-sized, so the
+	// steady-state phase allocates nothing on this node's data plane.
+	covOut  []congest.Send
+	nbrCov  []rational.Q
+	reduced []rational.Q
+	view    []congest.Send
+	nbr     []nbrView
+	cands   []congest.Wire
+}
+
+// phaseScratch resets (lazily allocating) the per-phase buffers.
+func (ns *nodeState) phaseScratch(deg int) {
+	if ns.nbrCov == nil {
+		ns.covOut = make([]congest.Send, 0, deg)
+		ns.view = make([]congest.Send, 0, deg)
+		ns.cands = make([]congest.Wire, 0, deg)
+		ns.nbrCov = make([]rational.Q, deg)
+		ns.reduced = make([]rational.Q, deg)
+		ns.nbr = make([]nbrView, deg)
+	}
+	ns.covOut = ns.covOut[:0]
+	ns.view = ns.view[:0]
+	ns.cands = ns.cands[:0]
+	for p := 0; p < deg; p++ {
+		ns.nbrCov[p] = rational.Q{}
+		ns.nbr[p] = nbrView{ownerIdx: -1}
+	}
 }
 
 // installTerms builds the terminal table and moat bookkeeping from the
@@ -285,16 +327,17 @@ func (ns *nodeState) runPhase() {
 	deg := h.Degree()
 
 	// (a) Exchange coverage to agree on reduced edge weights Ŵj.
-	covOut := make([]congest.Send, 0, deg)
+	ns.phaseScratch(deg)
+	covOut := ns.covOut
 	for p := 0; p < deg; p++ {
 		b, c := dist.EncodeQ(ns.cov[p])
 		covOut = append(covOut, congest.Send{Port: p, Wire: congest.Wire{Kind: wireCov, B: b, C: c}})
 	}
-	nbrCov := make([]rational.Q, deg)
+	nbrCov := ns.nbrCov
 	for _, rc := range h.Exchange(covOut) {
 		nbrCov[rc.Port] = dist.DecodeQ(rc.Wire.B, rc.Wire.C)
 	}
-	reduced := make([]rational.Q, deg)
+	reduced := ns.reduced
 	for p := 0; p < deg; p++ {
 		w := rational.FromInt(h.Weight(p)).Sub(ns.cov[p]).Sub(nbrCov[p])
 		reduced[p] = rational.Max(w, rational.Q{})
@@ -323,20 +366,17 @@ func (ns *nodeState) runPhase() {
 	}
 
 	// (c) Tell neighbors the view.
-	view := make([]congest.Send, 0, deg)
+	view := ns.view
 	for p := 0; p < deg; p++ {
 		view = append(view, congest.Send{Port: p, Wire: nbrWire(myOwner, myActive, myDhat)})
 	}
-	nbr := make([]nbrView, deg)
-	for p := range nbr {
-		nbr[p] = nbrView{ownerIdx: -1}
-	}
+	nbr := ns.nbr
 	for _, rc := range h.Exchange(view) {
 		nbr[rc.Port] = nbrFromWire(rc.Wire)
 	}
 
 	// (d) Propose candidate merges on region boundary edges.
-	var cands []congest.Wire
+	cands := ns.cands
 	if myOwner >= 0 && myActive {
 		for p := 0; p < deg; p++ {
 			o := nbr[p]
@@ -433,7 +473,7 @@ func (ns *nodeState) ownerNode() int {
 // edges.
 func (ns *nodeState) markEdges(out *sharedOutput) {
 	h := ns.h
-	fmin := minimalSubforest(ns.terms, ns.allMerges)
+	fmin := out.fmin(ns.terms, ns.allMerges)
 
 	tokens := 0 // pending token sends up the parent chain
 	seen := false

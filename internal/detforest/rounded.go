@@ -104,16 +104,17 @@ func (ns *nodeState) runRoundedPhase(cap rational.Q) (rational.Q, bool) {
 	h := ns.h
 	deg := h.Degree()
 
-	covOut := make([]congest.Send, 0, deg)
+	ns.phaseScratch(deg)
+	covOut := ns.covOut
 	for p := 0; p < deg; p++ {
 		b, c := dist.EncodeQ(ns.cov[p])
 		covOut = append(covOut, congest.Send{Port: p, Wire: congest.Wire{Kind: wireCov, B: b, C: c}})
 	}
-	nbrCov := make([]rational.Q, deg)
+	nbrCov := ns.nbrCov
 	for _, rc := range h.Exchange(covOut) {
 		nbrCov[rc.Port] = dist.DecodeQ(rc.Wire.B, rc.Wire.C)
 	}
-	reduced := make([]rational.Q, deg)
+	reduced := ns.reduced
 	for p := 0; p < deg; p++ {
 		w := rational.FromInt(h.Weight(p)).Sub(ns.cov[p]).Sub(nbrCov[p])
 		reduced[p] = rational.Max(w, rational.Q{})
@@ -137,19 +138,16 @@ func (ns *nodeState) runRoundedPhase(cap rational.Q) (rational.Q, bool) {
 		tentParent = bf.ParentPort
 	}
 
-	view := make([]congest.Send, 0, deg)
+	view := ns.view
 	for p := 0; p < deg; p++ {
 		view = append(view, congest.Send{Port: p, Wire: nbrWire(myOwner, myActive, myDhat)})
 	}
-	nbr := make([]nbrView, deg)
-	for p := range nbr {
-		nbr[p] = nbrView{ownerIdx: -1}
-	}
+	nbr := ns.nbr
 	for _, rc := range h.Exchange(view) {
 		nbr[rc.Port] = nbrFromWire(rc.Wire)
 	}
 
-	var cands []congest.Wire
+	cands := ns.cands
 	if myOwner >= 0 && myActive {
 		for p := 0; p < deg; p++ {
 			o := nbr[p]

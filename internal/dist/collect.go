@@ -172,18 +172,19 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []congest.Wire, cmp Cmp, ne
 		// marker; the wave reaches the deepest node Height-1 rounds later.
 		// Stragglers may still be upcasting (a stopAfter cut): their items
 		// arrive during the stream and are ignored.
+		out := make([]congest.Send, 0, nc)
 		for _, it := range result {
-			out := make([]congest.Send, 0, nc)
+			out = out[:0]
 			for _, p := range t.ChildPorts {
 				out = append(out, congest.Send{Port: p, Wire: it})
 			}
 			h.Exchange(out)
 		}
-		end := make([]congest.Send, 0, nc)
+		out = out[:0]
 		for _, p := range t.ChildPorts {
-			end = append(end, congest.Send{Port: p, Wire: congest.Wire{Kind: wireDownEnd}})
+			out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireDownEnd}})
 		}
-		h.Exchange(end)
+		h.Exchange(out)
 		h.Idle(t.Height - 1)
 		return result
 	}
@@ -212,6 +213,22 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []congest.Wire, cmp Cmp, ne
 		}
 		if out != nil {
 			process(h.Exchange(out))
+		} else if filter == nil && nc == 1 && ownNext >= len(local) &&
+			len(queues[0]) == 0 && !done[0] {
+			// Single-child passthrough: nothing of our own left and exactly
+			// one stream to merge, so the rest of the upcast is a pure relay.
+			// A RelayStream order forwards the child's items — end marker
+			// included — to the parent with the same one-round latency the
+			// loop gives them, without resuming this node per item. Only a
+			// deviating round (the broadcast starting early on a stopAfter
+			// cut) hands an inbox back before the marker's forward.
+			stream, last := h.RelayStream(t.ChildPorts[0], []int{t.ParentPort}, wireUpDone)
+			if k := len(stream); k > 0 && stream[k-1].Wire.Kind == wireUpDone {
+				// The engine forwarded the marker: our wireUpDone is sent.
+				done[0] = true
+				upDoneSent = true
+			}
+			process(last)
 		} else {
 			process(h.Sleep())
 		}
@@ -223,11 +240,12 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []congest.Wire, cmp Cmp, ne
 	// drains batch through the window relay. Only a straggler's upcast item
 	// (possible after a stopAfter cut) wakes us early, whose round we
 	// handle by hand before parking again.
+	dnBuf := make([]congest.Send, 0, nc)
 	for exitRound < 0 {
 		if len(fwd) > 0 {
 			it := fwd[0]
 			fwd = fwd[1:]
-			out := make([]congest.Send, 0, nc)
+			out := dnBuf[:0]
 			for _, p := range t.ChildPorts {
 				out = append(out, congest.Send{Port: p, Wire: it})
 			}
@@ -259,7 +277,7 @@ func UpcastBroadcast(h *congest.Host, t *Tree, local []congest.Wire, cmp Cmp, ne
 		}
 	}
 	for len(fwd) > 0 || fwdEnd {
-		out := make([]congest.Send, 0, nc)
+		out := dnBuf[:0]
 		if len(fwd) > 0 {
 			it := fwd[0]
 			fwd = fwd[1:]
@@ -291,18 +309,19 @@ func BroadcastList(h *congest.Host, t *Tree, items []congest.Wire) []congest.Wir
 	}
 	nc := len(t.ChildPorts)
 	if t.IsRoot() {
+		out := make([]congest.Send, 0, nc)
 		for _, it := range items {
-			out := make([]congest.Send, 0, nc)
+			out = out[:0]
 			for _, p := range t.ChildPorts {
 				out = append(out, congest.Send{Port: p, Wire: it})
 			}
 			h.Exchange(out)
 		}
-		end := make([]congest.Send, 0, nc)
+		out = out[:0]
 		for _, p := range t.ChildPorts {
-			end = append(end, congest.Send{Port: p, Wire: congest.Wire{Kind: wireBcastEnd}})
+			out = append(out, congest.Send{Port: p, Wire: congest.Wire{Kind: wireBcastEnd}})
 		}
-		h.Exchange(end)
+		h.Exchange(out)
 		h.Idle(t.Height - 1)
 		return items
 	}

@@ -72,13 +72,14 @@ const (
 	wireBcastEnd uint16 = 3  // broadcast stream exhausted
 	wireMaxUp    uint16 = 4  // C = partial maximum
 	wireMaxDown  uint16 = 5  // C = global maximum
-	wireQuiet    uint16 = 6  // RunQuiet convergecast bit
+	wireQuiet    uint16 = 6  // RunQuiet: subtree-quiet bit turned on
 	wireExit     uint16 = 7  // RunQuiet synchronized exit wave
 	wireBF       uint16 = 8  // A = source id, (B, C) = encoded distance
 	wireExplore  uint16 = 9  // BFS flood
 	wireAccept   uint16 = 10 // BFS child registration
 	wireDoneUp   uint16 = 11 // BFS completion convergecast; C = max depth
 	wireFinish   uint16 = 12 // BFS finish broadcast; C = tree height
+	wireQuietOff uint16 = 13 // RunQuiet: subtree-quiet bit turned off
 )
 
 func init() {
@@ -94,6 +95,7 @@ func init() {
 	congest.RegisterWireKind(wireAccept, 2)
 	congest.RegisterWireKind(wireDoneUp, 2+24)
 	congest.RegisterWireKind(wireFinish, 2+24)
+	congest.RegisterWireKind(wireQuietOff, 2)
 }
 
 // EncodeQ packs an exact dyadic rational into two wire slots: the returned

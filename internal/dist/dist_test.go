@@ -94,7 +94,7 @@ func TestBuildBFSTreeShape(t *testing.T) {
 				continue
 			}
 			// The parent must be a neighbor one BFS level up.
-			parent := g.Neighbors(v)[tr.ParentPort].To
+			parent := int(g.Neighbors(v)[tr.ParentPort].To)
 			if ref.Dist[parent] != ref.Dist[v]-1 {
 				t.Fatalf("trial %d node %d: parent %d at depth %d", trial, v, parent, ref.Dist[parent])
 			}
@@ -102,7 +102,7 @@ func TestBuildBFSTreeShape(t *testing.T) {
 			ptree := res.trees[parent]
 			found := false
 			for _, cp := range ptree.ChildPorts {
-				if g.Neighbors(parent)[cp].To == v {
+				if int(g.Neighbors(parent)[cp].To) == v {
 					found = true
 				}
 			}

@@ -20,14 +20,22 @@ type Step func(round int, in []congest.Recv) ([]congest.Send, bool)
 // payload round), and once the root observes a globally quiet round it
 // broadcasts a synchronized exit.
 //
-// Quiescent subtrees cost the scheduler (almost) nothing: a node with an
-// empty slot parks for that round, and a node in protocol steady state —
-// quiet across its whole reporting window with all children reporting —
-// hands the engine a standing order (congest.Host.Standby) that keeps its
-// per-slot quiet bit flowing up while the node itself stays parked until
-// something deviates: payload arriving, a child falling silent, or the
-// exit wave. The message schedule is identical to the always-exchanging
-// driver, which the equivalence tests pin.
+// Quietness reporting is edge-triggered: the conceptual per-slot bit
+// stream between a node and its parent is transmitted as its transitions
+// only — wireQuiet when the subtree's bit turns on, wireQuietOff when it
+// turns off — and the parent latches the current value per child. The
+// latched counts reproduce the level-triggered per-slot counts exactly, so
+// the detection and exit slots (hence Stats.Rounds) are unchanged, while a
+// quiet subtree stops paying one message per control slot: in a steady
+// state, control traffic is zero.
+//
+// The edge-triggering is also what lets nodes park for free: a node whose
+// reporting window is uniformly quiet and whose latest transition is on
+// the wire has nothing to say until mail arrives — payload, a child's
+// transition, or the exit wave — so it sleeps unboundedly instead of
+// driving empty slots. The root sleeps the same way while some child latch
+// is off; the arrival that completes the latch set is also the wake that
+// lets it detect.
 //
 // The step's round counter counts payload rounds only.
 func RunQuiet(h *congest.Host, t *Tree, step Step) {
@@ -44,50 +52,77 @@ func RunQuiet(h *congest.Host, t *Tree, step Step) {
 	}
 
 	height, depth := t.Height, t.Depth
+	root := t.IsRoot()
 	nc := len(t.ChildPorts)
 	lag := height - depth
 	hist := make([]bool, lag+1) // ownQuiet for payload slots s-lag..s
-	lastCount := 0              // quiet bits received in the previous control slot
-	detected := false           // root: a globally quiet round was observed
+	childOf := make([]int, h.Degree())
+	for p := range childOf {
+		childOf[p] = -1
+	}
+	for i, p := range t.ChildPorts {
+		childOf[p] = i
+	}
+	chq := make([]bool, nc) // per-child latched quiet bit
+	count := 0              // = number of set latches
+	sent := false           // the bit our parent currently latches for us
+	qStreak := 0            // consecutive quiet payload slots ending at s
+	detected := false       // root: a globally quiet round was observed
 	sendExitAt, exitAt := -1, -1
 	suppress := false // stop reporting once the exit wave arrived
-	canStand := !t.IsRoot() && lag < 64
+	sawExit := false
 	r0 := h.Round()
 	var ctrl []congest.Send
+
+	// fold latches a control inbox: child transitions update the per-child
+	// bits, the exit wave is flagged for the caller (who knows the slot).
+	fold := func(in []congest.Recv) {
+		for _, rc := range in {
+			switch rc.Wire.Kind {
+			case wireQuiet:
+				if ci := childOf[rc.Port]; !chq[ci] {
+					chq[ci] = true
+					count++
+				}
+			case wireQuietOff:
+				if ci := childOf[rc.Port]; chq[ci] {
+					chq[ci] = false
+					count--
+				}
+			case wireExit:
+				sawExit = true
+			}
+		}
+	}
 
 	out, active := step(0, nil)
 	for s := 0; ; s++ {
 		// Payload slot s: out/active were produced by step(s, ...).
 		quiet := len(out) == 0 && !active
 		hist[s%(lag+1)] = quiet
+		if quiet {
+			qStreak++
+		} else {
+			qStreak = 0
+		}
 		var pin []congest.Recv
-		if canStand && quiet && !suppress && exitAt < 0 {
-			// Until something deviates — payload arriving, the children's
-			// echo pattern changing, the exit wave — this node's behavior
-			// is fixed, so it parks on a standing order instead of driving
-			// the slots itself. With all children reporting, the order is
-			// a masked heartbeat: per control slot s+i the quiet bit of
-			// the already-known history entry s+i-lag (every entry past
-			// the window is a parked, hence quiet, slot). With children
-			// missing, the node reports nothing until a full echo set
-			// arrives, so it waits: partial echo sets leave it silent
-			// whatever their count, and the engine consumes them in place.
-			var in []congest.Recv
-			if lastCount == nc {
-				var mask uint64
-				for i := 0; i <= lag; i++ {
-					if j := s - lag + i; j >= 0 && hist[j%(lag+1)] {
-						mask |= 1 << uint(i)
-					}
-				}
-				in = h.Standby(t.ParentPort, congest.Wire{Kind: wireQuiet}, nc, mask, lag+1)
-				// Parked control slots echoed cleanly: lastCount stays nc.
-			} else {
-				in = h.Await(wireQuiet, nc)
-				// Parked control slots carried partial echo sets; any
-				// sub-nc count behaves identically.
-				lastCount = 0
-			}
+		// Steady state: a payload-quiet node parks until mail — payload, a
+		// child's transition, or the exit wave — whenever its conceptual
+		// bit stream is constant under empty input. That holds in two
+		// cases: the transmitted bit is false and some child latch is off
+		// (the bit is pinned false whatever the history window holds, and
+		// the count change that would unpin it arrives as a wake — so
+		// folding a transition and re-parking is one cycle, not a window
+		// replay), or the whole reporting window is quiet and the
+		// transmitted bit already matches it. The root parks while a latch
+		// is off; the arrival that completes the set is also its wake. (A
+		// set latch chain always bottoms out at a driving node or an
+		// in-flight transition, so the network as a whole never deadlocks.)
+		if quiet && !suppress && exitAt < 0 &&
+			((root && count < nc) ||
+				(!root && !sent && count < nc) ||
+				(!root && qStreak > lag && sent == (count == nc))) {
+			in := h.Sleep()
 			rel := h.Round() - r0 - 1 // the deviating round, relative
 			sw := rel / 2
 			// Parked slots were payload-silent: mark them quiet, keeping
@@ -95,23 +130,28 @@ func RunQuiet(h *congest.Host, t *Tree, step Step) {
 			for j := s + 1; j <= sw && j <= s+lag+1; j++ {
 				hist[j%(lag+1)] = true
 			}
+			qStreak += sw - s
 			s = sw
 			if rel%2 == 1 {
-				// Woken in the control round of slot s (a child fell
-				// silent, or the exit wave): our quiet bit for this slot is
-				// already out; fold the inbox in and move to the next slot.
-				count := 0
-				for _, rc := range in {
-					switch rc.Wire.Kind {
-					case wireQuiet:
-						count++
-					case wireExit:
-						suppress = true
-						exitAt = s + height - depth
+				// Woken in the control round of slot s (a child's
+				// transition, or the exit wave): our own bit for this slot
+				// was constant, so nothing of ours was due; latch the
+				// arrivals, which take effect from slot s+1.
+				fold(in)
+				if sawExit {
+					sawExit = false
+					suppress = true
+					exitAt = s + lag
+					sendExitAt = s + 1
+				}
+				if root && !detected {
+					rrc := s - height + 1
+					if rrc >= 0 && count == nc && hist[rrc%(lag+1)] {
+						detected = true
 						sendExitAt = s + 1
+						exitAt = s + height
 					}
 				}
-				lastCount = count
 				if exitAt >= 0 && s >= exitAt {
 					return
 				}
@@ -131,12 +171,18 @@ func RunQuiet(h *congest.Host, t *Tree, step Step) {
 			out, active = step(s+1, pin)
 		}
 
-		// Control slot s.
+		// Control slot s: transmit our bit's transition, if any.
 		ctrl = ctrl[:0]
 		rr := s - lag
-		if !t.IsRoot() && !suppress && rr >= 0 {
-			if hist[rr%(lag+1)] && lastCount == nc {
-				ctrl = append(ctrl, congest.Send{Port: t.ParentPort, Wire: congest.Wire{Kind: wireQuiet}})
+		if !root && !suppress && rr >= 0 {
+			bit := hist[rr%(lag+1)] && count == nc
+			if bit != sent {
+				sent = bit
+				k := wireQuietOff
+				if bit {
+					k = wireQuiet
+				}
+				ctrl = append(ctrl, congest.Send{Port: t.ParentPort, Wire: congest.Wire{Kind: k}})
 			}
 		}
 		if s == sendExitAt {
@@ -150,19 +196,14 @@ func RunQuiet(h *congest.Host, t *Tree, step Step) {
 		} else {
 			cin = h.SleepUntil(h.Round() + 1)
 		}
-		count := 0
-		for _, rc := range cin {
-			switch rc.Wire.Kind {
-			case wireQuiet:
-				count++
-			case wireExit:
-				suppress = true
-				exitAt = s + height - depth
-				sendExitAt = s + 1
-			}
+		fold(cin)
+		if sawExit {
+			sawExit = false
+			suppress = true
+			exitAt = s + height - depth
+			sendExitAt = s + 1
 		}
-		lastCount = count
-		if t.IsRoot() && !detected {
+		if root && !detected {
 			// Children (depth 1) report payload round s-(height-1) at slot s.
 			rrc := s - height + 1
 			if rrc >= 0 && count == nc && hist[rrc%(lag+1)] {
@@ -178,8 +219,8 @@ func RunQuiet(h *congest.Host, t *Tree, step Step) {
 			// The exit wave is forwarded and the network is globally quiet:
 			// the remaining slots are pure waiting for the deepest nodes to
 			// be reached. Idle straight to the common exit round — stray
-			// child echoes arriving meanwhile are discarded unread, which
-			// is what the loop would have done with them.
+			// child transitions arriving meanwhile are discarded unread,
+			// which is what the loop would have done with them.
 			h.Idle(r0 + 2*exitAt + 2 - h.Round())
 			return
 		}

@@ -1,0 +1,113 @@
+package graph
+
+import "testing"
+
+// adjacency copies g's full adjacency into owned slices, so a later
+// mutation of g (or of a clone) can be checked against it.
+func adjacency(g *Graph) [][]Half {
+	out := make([][]Half, g.N())
+	for u := 0; u < g.N(); u++ {
+		out[u] = append([]Half(nil), g.Neighbors(u)...)
+	}
+	return out
+}
+
+func requireAdjacency(t *testing.T, g *Graph, want [][]Half, label string) {
+	t.Helper()
+	for u := 0; u < g.N(); u++ {
+		got := g.Neighbors(u)
+		if len(got) != len(want[u]) {
+			t.Fatalf("%s: node %d degree %d, want %d", label, u, len(got), len(want[u]))
+		}
+		for i := range got {
+			if got[i] != want[u][i] {
+				t.Fatalf("%s: node %d half %d = %+v, want %+v", label, u, i, got[i], want[u][i])
+			}
+		}
+	}
+}
+
+// TestCloneNeverAliasesCSR is the regression guard for the flat-CSR
+// representation: Clone must copy the offset and half arrays (not alias
+// them), and an AddEdge on either copy — which thaws CSR back into
+// staging — must never become visible through the other.
+func TestCloneNeverAliasesCSR(t *testing.T) {
+	g := Grid(4, 4, func(u, v int) int64 { return int64(u + v + 1) })
+	g.Freeze()
+	before := adjacency(g)
+
+	c := g.Clone()
+	if &g.Offsets()[0] == &c.Offsets()[0] {
+		t.Fatal("clone shares the CSR offset array with the original")
+	}
+	if &g.Neighbors(0)[0] == &c.Neighbors(0)[0] {
+		t.Fatal("clone shares the CSR half array with the original")
+	}
+
+	// Mutating the clone thaws it; the original must be untouched.
+	c.AddEdge(0, 5, 7)
+	requireAdjacency(t, g, before, "original after clone.AddEdge")
+	if _, ok := g.EdgeBetween(0, 5); ok {
+		t.Fatal("clone's new edge leaked into the original")
+	}
+
+	// And the reverse: mutating the original must not reach a clone.
+	c2 := g.Clone()
+	cBefore := adjacency(c2)
+	g.AddEdge(0, 10, 9)
+	requireAdjacency(t, c2, cBefore, "clone after original.AddEdge")
+	if _, ok := c2.EdgeBetween(0, 10); ok {
+		t.Fatal("original's new edge leaked into the clone")
+	}
+}
+
+// TestCloneStagingIndependent covers the staging-form branch of Clone:
+// per-node staging lists must be copied, so the two graphs grow
+// independently before either is frozen.
+func TestCloneStagingIndependent(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+
+	c := g.Clone() // both still in staging form
+	c.AddEdge(2, 3, 3)
+	g.AddEdge(4, 5, 4)
+
+	if g.M() != 3 || c.M() != 3 {
+		t.Fatalf("m = %d, %d, want 3, 3", g.M(), c.M())
+	}
+	if _, ok := g.EdgeBetween(2, 3); ok {
+		t.Fatal("clone's edge {2,3} leaked into the original staging lists")
+	}
+	if _, ok := c.EdgeBetween(4, 5); ok {
+		t.Fatal("original's edge {4,5} leaked into the clone staging lists")
+	}
+
+	// Freezing either one must not disturb the other.
+	g.Freeze()
+	if c.Degree(4) != 0 || c.Degree(3) != 1 {
+		t.Fatalf("clone degrees changed by original's Freeze: deg(4)=%d deg(3)=%d",
+			c.Degree(4), c.Degree(3))
+	}
+}
+
+// TestGeneratorsPostFreezeExtend pins that a frozen generator output can
+// keep growing: AddEdge after Freeze thaws by copying, and the result is
+// identical to building the same edge set without the intermediate Freeze.
+func TestGeneratorsPostFreezeExtend(t *testing.T) {
+	build := func(freezeFirst bool) *Graph {
+		g := Grid(3, 5, UnitWeights)
+		if freezeFirst {
+			g.Freeze()
+		}
+		g.AddEdge(0, 14, 5)
+		g.AddEdge(2, 12, 6)
+		g.Freeze()
+		return g
+	}
+	a, b := build(true), build(false)
+	requireAdjacency(t, a, adjacency(b), "freeze-then-extend vs extend-only")
+	if a.TotalWeight() != b.TotalWeight() {
+		t.Fatalf("total weight %d != %d", a.TotalWeight(), b.TotalWeight())
+	}
+}

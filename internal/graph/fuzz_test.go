@@ -1,0 +1,102 @@
+package graph
+
+import "testing"
+
+// FuzzFreezeAddEdge drives randomized interleavings of AddEdge, Freeze,
+// adjacency reads (which imply Freeze), and Clone against a map-based
+// model of the edge set. The CSR representation round-trips through
+// staging on every post-freeze AddEdge, so this is where an aliasing or
+// compaction bug between the two forms would surface.
+func FuzzFreezeAddEdge(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 0, 0, 3, 4, 3, 0, 0, 0, 5, 6, 2, 7, 8})
+	f.Add([]byte{3, 0, 0, 0, 2, 5, 1, 0, 0, 0, 6, 7, 3, 0, 0, 0, 1, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 9
+		type ek struct{ u, v int }
+		key := func(u, v int) ek {
+			if u > v {
+				u, v = v, u
+			}
+			return ek{u, v}
+		}
+		check := func(g *Graph, model map[ek]int64, label string) {
+			t.Helper()
+			if g.M() != len(model) {
+				t.Fatalf("%s: m = %d, model has %d edges", label, g.M(), len(model))
+			}
+			for k, w := range model {
+				idx, ok := g.EdgeBetween(k.u, k.v)
+				if !ok {
+					t.Fatalf("%s: edge {%d,%d} missing", label, k.u, k.v)
+				}
+				if e := g.Edge(idx); e.Weight != w || key(e.U, e.V) != k {
+					t.Fatalf("%s: edge %d = %+v, want {%d,%d} w=%d", label, idx, e, k.u, k.v, w)
+				}
+			}
+			// Freezing for the read side must not change anything; the
+			// adjacency must be sorted and agree with the edge set.
+			halves := 0
+			for u := 0; u < n; u++ {
+				nbrs := g.Neighbors(u)
+				halves += len(nbrs)
+				for i, h := range nbrs {
+					if i > 0 && nbrs[i-1].To >= h.To {
+						t.Fatalf("%s: node %d adjacency unsorted at %d", label, u, i)
+					}
+					if w, ok := model[key(u, int(h.To))]; !ok || w != h.Weight {
+						t.Fatalf("%s: node %d lists half %+v not in model", label, u, h)
+					}
+				}
+			}
+			if halves != 2*len(model) {
+				t.Fatalf("%s: %d halves for %d edges", label, halves, len(model))
+			}
+		}
+
+		g := New(n)
+		model := map[ek]int64{}
+		var clones []*Graph
+		var cloneModels []map[ek]int64
+		for i := 0; i+2 < len(data) && len(clones) < 4; i += 3 {
+			op, a, b := data[i], data[i+1], data[i+2]
+			u, v := int(a)%n, int(b)%n
+			switch op % 5 {
+			case 0: // AddEdge when legal (duplicates and loops panic by contract)
+				if u == v {
+					continue
+				}
+				if _, dup := model[key(u, v)]; dup {
+					continue
+				}
+				w := int64(op%7) + 1
+				g.AddEdge(u, v, w)
+				model[key(u, v)] = w
+			case 1:
+				g.Freeze()
+			case 2: // adjacency read forces a freeze mid-sequence
+				_ = g.Neighbors(u)
+			case 3: // snapshot a clone in whatever form g is in right now
+				snap := make(map[ek]int64, len(model))
+				for k, w := range model {
+					snap[k] = w
+				}
+				clones = append(clones, g.Clone())
+				cloneModels = append(cloneModels, snap)
+			case 4: // point lookups work on either form
+				if idx, ok := g.EdgeBetween(u, v); ok {
+					if w := g.Edge(idx).Weight; w != model[key(u, v)] {
+						t.Fatalf("EdgeBetween(%d,%d) weight %d, model %d", u, v, w, model[key(u, v)])
+					}
+				} else if _, in := model[key(u, v)]; in {
+					t.Fatalf("EdgeBetween(%d,%d) missed a model edge", u, v)
+				}
+			}
+		}
+		check(g, model, "final graph")
+		// Every clone must still match the model captured at its birth,
+		// however much the original mutated afterwards.
+		for i, c := range clones {
+			check(c, cloneModels[i], "clone")
+		}
+	})
+}

@@ -6,6 +6,14 @@
 //
 // Nodes are dense integers 0..n-1. Edge weights are positive int64 values,
 // polynomially bounded in n as the CONGEST model assumes.
+//
+// Adjacency is stored in compressed-sparse-row form: one flat, packed
+// []Half array plus an n+1 offset table, so a million-node graph costs two
+// allocations instead of a slice header and a backing array per node.
+// Construction goes through a staging form (AddEdge appends to per-node
+// lists); the first adjacency read — or an explicit Freeze — compacts the
+// staging lists into the CSR arrays, and a later AddEdge thaws back into
+// staging by copying, never by aliasing the frozen arrays.
 package graph
 
 import (
@@ -14,10 +22,12 @@ import (
 )
 
 // Half is one direction of an undirected edge as stored in adjacency lists.
+// Fields are packed to 16 bytes: node and edge indices fit int32 at every
+// scale the simulator targets (the constructors enforce the bound).
 type Half struct {
-	To     int   // neighbor node
+	To     int32 // neighbor node
+	Index  int32 // index into Graph.Edges
 	Weight int64 // edge weight (>= 1)
-	Index  int   // index into Graph.Edges
 }
 
 // Edge is an undirected weighted edge with U < V.
@@ -39,7 +49,16 @@ func (e Edge) Other(x int) int {
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]Half
+
+	// Frozen CSR form: halves[off[u]:off[u+1]] is u's adjacency, sorted by
+	// neighbor ID. Valid iff frozen.
+	off    []int32
+	halves []Half
+
+	// Staging form, active while building (frozen == false).
+	stage [][]Half
+
+	frozen bool
 }
 
 // New returns an empty graph on n nodes.
@@ -47,7 +66,10 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
-	return &Graph{n: n, adj: make([][]Half, n)}
+	if int64(n) > 1<<31-1 {
+		panic(fmt.Sprintf("graph: node count %d exceeds int32", n))
+	}
+	return &Graph{n: n, stage: make([][]Half, n)}
 }
 
 // N returns the number of nodes.
@@ -62,13 +84,66 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // Edge returns the edge with the given index.
 func (g *Graph) Edge(i int) Edge { return g.edges[i] }
 
+// Freeze compacts the staging adjacency into the flat CSR arrays. It is
+// idempotent, and implied by the first adjacency read; calling it after
+// construction releases the staging lists eagerly.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	off := make([]int32, g.n+1)
+	total := 0
+	for u, lst := range g.stage {
+		off[u] = int32(total)
+		total += len(lst)
+	}
+	off[g.n] = int32(total)
+	halves := make([]Half, 0, total)
+	for _, lst := range g.stage {
+		halves = append(halves, lst...)
+	}
+	g.off, g.halves, g.stage = off, halves, nil
+	g.frozen = true
+}
+
+// thaw rebuilds the staging form from the CSR arrays so AddEdge can insert.
+// Every per-node list is a fresh copy: the frozen arrays may be shared with
+// clones, so staging must never alias them.
+func (g *Graph) thaw() {
+	stage := make([][]Half, g.n)
+	for u := 0; u < g.n; u++ {
+		s := g.halves[g.off[u]:g.off[u+1]]
+		if len(s) > 0 {
+			stage[u] = append(make([]Half, 0, len(s)+1), s...)
+		}
+	}
+	g.stage, g.off, g.halves = stage, nil, nil
+	g.frozen = false
+}
+
+// Offsets returns the CSR offset table (length n+1): the adjacency of u is
+// the half range [Offsets()[u], Offsets()[u+1]). Engines index their own
+// flat per-port tables by the same offsets. Callers must not modify it.
+func (g *Graph) Offsets() []int32 {
+	g.Freeze()
+	return g.off
+}
+
 // Neighbors returns the adjacency list of u. Callers must not modify it.
 // The list is sorted by neighbor ID, so per-node port numbering is
 // deterministic.
-func (g *Graph) Neighbors(u int) []Half { return g.adj[u] }
+func (g *Graph) Neighbors(u int) []Half {
+	g.Freeze()
+	return g.halves[g.off[u]:g.off[u+1]:g.off[u+1]]
+}
 
 // Degree returns the number of edges incident to u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	if !g.frozen {
+		return len(g.stage[u])
+	}
+	return int(g.off[u+1] - g.off[u])
+}
 
 // AddEdge inserts the undirected edge {u, v} with weight w and returns its
 // index. It panics on self-loops, duplicate edges, or non-positive weights:
@@ -85,34 +160,44 @@ func (g *Graph) AddEdge(u, v int, w int64) int {
 	if _, ok := g.EdgeBetween(u, v); ok {
 		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
 	}
+	if g.frozen {
+		g.thaw()
+	}
 	if u > v {
 		u, v = v, u
 	}
 	idx := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v, Weight: w})
-	g.insertHalf(u, Half{To: v, Weight: w, Index: idx})
-	g.insertHalf(v, Half{To: u, Weight: w, Index: idx})
+	g.insertHalf(u, Half{To: int32(v), Weight: w, Index: int32(idx)})
+	g.insertHalf(v, Half{To: int32(u), Weight: w, Index: int32(idx)})
 	return idx
 }
 
 func (g *Graph) insertHalf(u int, h Half) {
-	lst := g.adj[u]
+	lst := g.stage[u]
 	pos := sort.Search(len(lst), func(i int) bool { return lst[i].To >= h.To })
 	lst = append(lst, Half{})
 	copy(lst[pos+1:], lst[pos:])
 	lst[pos] = h
-	g.adj[u] = lst
+	g.stage[u] = lst
 }
 
-// EdgeBetween returns the index of the edge {u, v} if it exists.
+// EdgeBetween returns the index of the edge {u, v} if it exists. It works
+// on whichever adjacency form is current, so generators may interleave it
+// with AddEdge without thrashing between staging and CSR.
 func (g *Graph) EdgeBetween(u, v int) (int, bool) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return 0, false
 	}
-	lst := g.adj[u]
-	pos := sort.Search(len(lst), func(i int) bool { return lst[i].To >= v })
-	if pos < len(lst) && lst[pos].To == v {
-		return lst[pos].Index, true
+	var lst []Half
+	if g.frozen {
+		lst = g.halves[g.off[u]:g.off[u+1]]
+	} else {
+		lst = g.stage[u]
+	}
+	pos := sort.Search(len(lst), func(i int) bool { return lst[i].To >= int32(v) })
+	if pos < len(lst) && lst[pos].To == int32(v) {
+		return int(lst[pos].Index), true
 	}
 	return 0, false
 }
@@ -137,13 +222,19 @@ func (g *Graph) MaxWeight() int64 {
 	return maxW
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g: no adjacency storage is shared, in either
+// form, so mutating the clone (or the original) never reaches the other.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
+	c := &Graph{n: g.n, frozen: g.frozen}
 	c.edges = append([]Edge(nil), g.edges...)
-	c.adj = make([][]Half, g.n)
-	for u := range g.adj {
-		c.adj[u] = append([]Half(nil), g.adj[u]...)
+	if g.frozen {
+		c.off = append([]int32(nil), g.off...)
+		c.halves = append([]Half(nil), g.halves...)
+	} else {
+		c.stage = make([][]Half, g.n)
+		for u := range g.stage {
+			c.stage[u] = append([]Half(nil), g.stage[u]...)
+		}
 	}
 	return c
 }

@@ -32,7 +32,7 @@ func TestNeighborsSorted(t *testing.T) {
 	g.AddEdge(2, 0, 1)
 	g.AddEdge(2, 3, 1)
 	g.AddEdge(2, 1, 1)
-	prev := -1
+	prev := int32(-1)
 	for _, h := range g.Neighbors(2) {
 		if h.To <= prev {
 			t.Fatalf("neighbors not sorted: %v", g.Neighbors(2))

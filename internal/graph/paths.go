@@ -29,11 +29,11 @@ func (g *Graph) BFS(src int) *BFSResult {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, h := range g.adj[u] {
-			if res.Dist[h.To] == -1 {
-				res.Dist[h.To] = res.Dist[u] + 1
-				res.Parent[h.To] = u
-				queue = append(queue, h.To)
+		for _, h := range g.Neighbors(u) {
+			if v := int(h.To); res.Dist[v] == -1 {
+				res.Dist[v] = res.Dist[u] + 1
+				res.Parent[v] = u
+				queue = append(queue, v)
 			}
 		}
 	}
@@ -128,9 +128,9 @@ func (g *Graph) Dijkstra(src int) *SSSPResult {
 			continue
 		}
 		done[u] = true
-		for _, h := range g.adj[u] {
+		for _, h := range g.Neighbors(u) {
 			nd, nh := it.dist+h.Weight, it.hops+1
-			v := h.To
+			v := int(h.To)
 			better := nd < res.Dist[v] ||
 				(nd == res.Dist[v] && nh < res.Hops[v]) ||
 				(nd == res.Dist[v] && nh == res.Hops[v] && res.Parent[v] > u)
@@ -219,9 +219,9 @@ func (g *Graph) minHopSSSP(src int) *SSSPResult {
 		if it.dist > res.Dist[u] || (it.dist == res.Dist[u] && it.hops > res.Hops[u]) {
 			continue
 		}
-		for _, h := range g.adj[u] {
+		for _, h := range g.Neighbors(u) {
 			nd, nh := it.dist+h.Weight, it.hops+1
-			v := h.To
+			v := int(h.To)
 			if nd < res.Dist[v] || (nd == res.Dist[v] && nh < res.Hops[v]) {
 				res.Dist[v] = nd
 				res.Hops[v] = nh
@@ -250,10 +250,10 @@ func (g *Graph) Components() ([]int, int) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, h := range g.adj[u] {
-				if label[h.To] == -1 {
-					label[h.To] = count
-					stack = append(stack, h.To)
+			for _, h := range g.Neighbors(u) {
+				if w := int(h.To); label[w] == -1 {
+					label[w] = count
+					stack = append(stack, w)
 				}
 			}
 		}

@@ -8,14 +8,32 @@ import "steinerforest/internal/graph"
 // the distributed algorithm every node drives an identical replica from the
 // globally known merge stream, which is how Section 4.1's nodes "locally
 // compute" activity statuses.
+//
+// All state is slice-backed, indexed by terminal handles: activity by moat
+// root, moat counts by canonical label handle. Entries at non-canonical
+// handles go stale after merges but are never read — every lookup goes
+// through a union-find Find first.
+//
+// Clone is copy-on-write: a clone shares the parent's arrays until its
+// first mutating call (Merge, RecheckActivity), which copies them. The
+// stream filters that clone speculate strictly between two mutations of
+// the parent and are discarded before the parent's next mutation, so a
+// borrowed clone never observes a parent write; the contract is that a
+// clone must not be used after its parent mutates.
 type Book struct {
 	moats      *graph.UnionFind
 	labels     *graph.UnionFind // label aliasing, keyed by terminal index handles
 	lblOf      []int            // terminal index -> its label's canonical handle
-	active     map[int]bool     // moat root -> active
-	labelMoats map[int]int      // canonical label handle -> #moats holding it
+	active     []bool           // moat root -> active (stale off-root entries unread)
+	labelMoats []int32          // canonical label handle -> #moats holding it
 	rounded    bool             // Algorithm 2: merges never deactivate
+	borrowed   bool             // CoW: state shared with the clone's parent
 }
+
+// EagerClones forces Clone to deep-copy immediately instead of
+// copy-on-write. Test hook: the property suite pins that both modes are
+// observationally identical across solvers and workload families.
+var EagerClones bool
 
 // NewBook initializes the bookkeeping for terminals with the given input
 // component labels (one entry per terminal, already minimalized: every
@@ -26,8 +44,8 @@ func NewBook(labels []int) *Book {
 		moats:      graph.NewUnionFind(n),
 		labels:     graph.NewUnionFind(n),
 		lblOf:      make([]int, n),
-		active:     make(map[int]bool, n),
-		labelMoats: make(map[int]int),
+		active:     make([]bool, n),
+		labelMoats: make([]int32, n),
 	}
 	firstOf := make(map[int]int)
 	for i, l := range labels {
@@ -40,7 +58,7 @@ func NewBook(labels []int) *Book {
 	}
 	for i := range labels {
 		b.active[i] = true
-		b.labelMoats[b.labels.Find(b.lblOf[i])]++
+		b.labelMoats[b.lblOf[i]]++ // labels is fresh: Find(lblOf[i]) == lblOf[i]
 	}
 	return b
 }
@@ -64,7 +82,7 @@ func (b *Book) AnyActive() bool {
 
 // ActiveCount returns the number of active moats.
 func (b *Book) ActiveCount() int {
-	seen := make(map[int]bool)
+	seen := make([]bool, len(b.lblOf))
 	n := 0
 	for i := range b.lblOf {
 		r := b.moats.Find(i)
@@ -84,6 +102,22 @@ func (b *Book) SameMoat(i, j int) bool { return b.moats.Connected(i, j) }
 // MoatOf returns the canonical moat handle of terminal i.
 func (b *Book) MoatOf(i int) int { return b.moats.Find(i) }
 
+// ensureOwned makes b's state private before a mutation: a borrowed clone
+// copies the shared arrays exactly once, on its first mutating call.
+// (Find's path compression also writes shared arrays, but only to shortcut
+// parent chains — it never changes any set, so sharing it is harmless.)
+func (b *Book) ensureOwned() {
+	if !b.borrowed {
+		return
+	}
+	b.borrowed = false
+	b.moats = b.moats.Clone()
+	b.labels = b.labels.Clone()
+	b.lblOf = append([]int(nil), b.lblOf...)
+	b.active = append([]bool(nil), b.active...)
+	b.labelMoats = append([]int32(nil), b.labelMoats...)
+}
+
 // Merge joins the moats of terminals i and j per Algorithm 1 lines 20-33
 // (or Algorithm 2 lines 31-39 in rounded mode) and reports whether any
 // terminal's activity status changed, i.e. whether this merge ends a merge
@@ -93,23 +127,22 @@ func (b *Book) Merge(i, j int) bool {
 	if ri == rj {
 		return false
 	}
+	b.ensureOwned()
 	wasI, wasJ := b.active[ri], b.active[rj]
 	li, lj := b.labels.Find(b.lblOf[i]), b.labels.Find(b.lblOf[j])
-	var count int
+	var count int32
 	if li == lj {
 		count = b.labelMoats[li] - 1
 	} else {
 		count = b.labelMoats[li] + b.labelMoats[lj] - 1
 		b.labels.Union(li, lj)
-		delete(b.labelMoats, li)
-		delete(b.labelMoats, lj)
 	}
 	b.moats.Union(ri, rj)
 	root := b.moats.Find(ri)
 	b.labelMoats[b.labels.Find(li)] = count
-	delete(b.active, ri)
-	delete(b.active, rj)
 	nowActive := count > 1 || b.rounded
+	b.active[ri] = nowActive // the losing root's entry goes stale, never read
+	b.active[rj] = nowActive
 	b.active[root] = nowActive
 	return wasI != nowActive || wasJ != nowActive
 }
@@ -117,6 +150,7 @@ func (b *Book) Merge(i, j int) bool {
 // RecheckActivity recomputes every moat's status per Algorithm 2's
 // threshold check: active iff another moat shares its label.
 func (b *Book) RecheckActivity() {
+	b.ensureOwned()
 	for i := range b.lblOf {
 		r := b.moats.Find(i)
 		b.active[r] = b.labelMoats[b.labels.Find(b.lblOf[i])] > 1
@@ -124,21 +158,16 @@ func (b *Book) RecheckActivity() {
 }
 
 // Clone returns an independent copy (used by stream filters that must
-// speculate ahead of the committed state).
+// speculate ahead of the committed state). The copy is lazy: state is
+// shared until the clone's first mutation, so a clone that only reads —
+// the common case for the phase-ender replica away from the root — costs
+// one small allocation. The clone must be discarded before the parent's
+// next mutation.
 func (b *Book) Clone() *Book {
-	c := &Book{
-		moats:      b.moats.Clone(),
-		labels:     b.labels.Clone(),
-		lblOf:      append([]int(nil), b.lblOf...),
-		active:     make(map[int]bool, len(b.active)),
-		labelMoats: make(map[int]int, len(b.labelMoats)),
-		rounded:    b.rounded,
+	c := *b
+	c.borrowed = true
+	if EagerClones {
+		c.ensureOwned()
 	}
-	for k, v := range b.active {
-		c.active[k] = v
-	}
-	for k, v := range b.labelMoats {
-		c.labelMoats[k] = v
-	}
-	return c
+	return &c
 }

@@ -98,7 +98,7 @@ func closeUnderPaths(g *graph.Graph, vals []int64) {
 		for _, h := range g.Neighbors(it.v) {
 			if nd := it.d + h.Weight; nd < vals[h.To] {
 				vals[h.To] = nd
-				heap.Push(q, exactItem{v: h.To, d: nd})
+				heap.Push(q, exactItem{v: int(h.To), d: nd})
 			}
 		}
 	}

@@ -142,8 +142,8 @@ func Prune(ins *Instance, s *Solution) *Solution {
 			continue
 		}
 		e := g.Edge(i)
-		adj[e.U] = append(adj[e.U], graph.Half{To: e.V, Index: i})
-		adj[e.V] = append(adj[e.V], graph.Half{To: e.U, Index: i})
+		adj[e.U] = append(adj[e.U], graph.Half{To: int32(e.V), Index: int32(i)})
+		adj[e.V] = append(adj[e.V], graph.Half{To: int32(e.U), Index: int32(i)})
 	}
 	totals := make(map[int]int)
 	for _, l := range ins.Label {
@@ -184,12 +184,12 @@ func pruneTree(root int, adj [][]graph.Half, ins *Instance, totals map[int]int, 
 		if f.childIdx < len(adj[f.node]) {
 			h := adj[f.node][f.childIdx]
 			f.childIdx++
-			if h.Index == f.parentEdge || visited[h.To] {
+			if int(h.Index) == f.parentEdge || visited[h.To] {
 				continue
 			}
-			counts[h.To] = newCount(h.To)
+			counts[int(h.To)] = newCount(int(h.To))
 			visited[h.To] = true
-			stack = append(stack, frame{node: h.To, parentEdge: h.Index})
+			stack = append(stack, frame{node: int(h.To), parentEdge: int(h.Index)})
 			continue
 		}
 		// Post-order: decide edge necessity, fold counts into the parent.
