@@ -7,6 +7,7 @@
 #   make fuzz-smoke       - 10s fresh-input fuzz of the instance parsers
 #   make bench-gate       - bench smoke + committed-snapshot drift gate
 #   make smoke            - end-to-end CLI smoke (local ci only)
+#   make serve-smoke      - dsfserve self-test: closed-loop trace over HTTP
 
 GO ?= go
 
@@ -22,9 +23,9 @@ TOLERANCE ?= 25
 # past this.
 MEMTOLERANCE ?= 25
 
-.PHONY: ci build vet test race fuzz-smoke bench baseline snapshot bench-smoke bench-compare bench-gate smoke
+.PHONY: ci build vet test race fuzz-smoke bench baseline snapshot bench-smoke bench-compare bench-gate smoke serve-smoke
 
-ci: build vet test race fuzz-smoke smoke bench-gate
+ci: build vet test race fuzz-smoke smoke serve-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -60,7 +61,7 @@ baseline:
 	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
 
 snapshot:
-	$(GO) run ./cmd/dsfbench -json > BENCH_pr6.json
+	$(GO) run ./cmd/dsfbench -json > BENCH_pr7.json
 
 # Short-mode run of the scheduler experiments: asserts the fast paths
 # (E2) and the continuation scheduler (E3) stay bit-identical to their
@@ -69,6 +70,7 @@ bench-smoke:
 	$(GO) run ./cmd/dsfbench -quick -table e2 -json -memprofile bench-e2-heap.pprof >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table e3 -json -memprofile bench-e3-heap.pprof >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table e5 -json -memprofile bench-e5-heap.pprof >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table s1 -json >/dev/null
 
 # Gate perf changes against the committed snapshots: the correctness
 # columns (rounds, weights, ratios, feasibility) must match exactly; the
@@ -77,7 +79,7 @@ bench-smoke:
 # timing summary prints the per-column perf trajectory. The report
 # is also written to a file so CI can attach it as an artifact on failure.
 bench-compare:
-	$(GO) run ./cmd/dsfbench -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr6.json
+	$(GO) run ./cmd/dsfbench -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr7.json
 
 # The CI bench job: fresh scheduler-identity smoke plus the snapshot gate.
 bench-gate: bench-smoke bench-compare
@@ -93,3 +95,9 @@ smoke:
 	$(GO) run ./cmd/dsfrun -in /tmp/dsf-smoke.sfi -algo rand >/dev/null
 	$(GO) run ./cmd/dsfrun -in examples/instances/ring12.sfi -algo central >/dev/null
 	@echo smoke OK
+
+# Serve-mode self-test: full dsfserve on an ephemeral loopback port, a
+# closed-loop trace over real HTTP, hard assertions on errors/rejections
+# and p99 latency (generous bound: CI runners are slow and shared).
+serve-smoke:
+	$(GO) run ./cmd/dsfserve -smoke -smokereqs 64 -smokep99 5000

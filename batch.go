@@ -41,11 +41,29 @@ func BatchSeed(base int64, i int) int64 {
 // fails, the error of the lowest-indexed failure is returned and the
 // results are discarded.
 func SolveBatch(instances []*Instance, spec Spec, workers int) ([]*Result, error) {
+	specs := make([]Spec, len(instances))
+	for i := range instances {
+		specs[i] = spec
+		specs[i].Seed = BatchSeed(spec.Seed, i)
+	}
+	return SolveBatchSpecs(instances, specs, workers)
+}
+
+// SolveBatchSpecs is the worker-pool primitive under SolveBatch: it
+// solves instances[i] with specs[i], so every slot carries its own full
+// Spec (algorithm, epsilon, seed, ...). Because each slot's seed is
+// pinned in its Spec rather than derived from a shared base, slot i is
+// bit-identical to a standalone Solve(instances[i], specs[i]) at every
+// worker count and in any batch composition — the property the serve
+// layer's request coalescing is built on. The error contract matches
+// SolveBatch: lowest-indexed failure wins and results are discarded.
+func SolveBatchSpecs(instances []*Instance, specs []Spec, workers int) ([]*Result, error) {
+	if len(instances) != len(specs) {
+		return nil, fmt.Errorf("steinerforest: %d instances but %d specs", len(instances), len(specs))
+	}
 	results := make([]*Result, len(instances))
 	solveAt := func(i int) error {
-		s := spec
-		s.Seed = BatchSeed(spec.Seed, i)
-		res, err := Solve(instances[i], s)
+		res, err := Solve(instances[i], specs[i])
 		if err != nil {
 			return fmt.Errorf("steinerforest: batch instance %d: %w", i, err)
 		}

@@ -29,6 +29,19 @@ import (
 	"steinerforest/internal/workload"
 )
 
+// validatePairCount checks that k pair components fit on n nodes: the
+// generator places 2 distinct terminals per component from one
+// permutation, so 2k <= n must hold.
+func validatePairCount(n, k int) error {
+	if k < 1 {
+		return fmt.Errorf("-k %d: need at least one component", k)
+	}
+	if 2*k > n {
+		return fmt.Errorf("-k %d needs %d terminal nodes but -n is %d (need 2k <= n)", k, 2*k, n)
+	}
+	return nil
+}
+
 func main() {
 	n := flag.Int("n", 40, "number of nodes")
 	k := flag.Int("k", 3, "number of input components (2 terminals each)")
@@ -51,10 +64,15 @@ func main() {
 		Parallelism:   *parallel,
 		NoCertificate: *nocert,
 	}
-	if _, err := fmt.Sscanf(*eps, "%d/%d", &spec.EpsNum, &spec.EpsDen); err != nil {
-		fmt.Fprintf(os.Stderr, "dsfrun: bad -eps %q (want num/den)\n", *eps)
+	// Strict epsilon parse at flag time (shared with dsfserve's request
+	// decoding): the old Sscanf accepted trailing garbage ("1/2junk",
+	// "3/4/5") and deferred 1/0 or negative values to a late solver error.
+	num, den, err := steinerforest.ParseEps(*eps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsfrun: bad -eps %q: want num/den with positive integers, e.g. 1/2\n", *eps)
 		os.Exit(2)
 	}
+	spec.EpsNum, spec.EpsDen = num, den
 
 	var ins *steinerforest.Instance
 	switch {
@@ -86,11 +104,17 @@ func main() {
 				generated.Planted.Size(), generated.PlantedWeight)
 		}
 	default:
+		// The legacy inline generator used to clamp silently (`c < *k &&
+		// 2*c+1 < *n`), quietly solving a smaller instance when 2k > n.
+		if err := validatePairCount(*n, *k); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfrun:", err)
+			os.Exit(2)
+		}
 		rng := rand.New(rand.NewSource(*seed))
 		g := graph.GNP(*n, 3.0/float64(*n), graph.RandomWeights(rng, *maxw), rng)
 		ins = steinerforest.NewInstance(g)
 		perm := rng.Perm(*n)
-		for c := 0; c < *k && 2*c+1 < *n; c++ {
+		for c := 0; c < *k; c++ {
 			ins.SetComponent(c, perm[2*c], perm[2*c+1])
 			fmt.Printf("component %d: nodes %d and %d\n", c, perm[2*c], perm[2*c+1])
 		}

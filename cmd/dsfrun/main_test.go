@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestValidatePairCount pins the 2k <= n check that replaced the legacy
+// generator's silent clamp (it used to quietly solve a smaller instance
+// when the permutation ran out of nodes).
+func TestValidatePairCount(t *testing.T) {
+	cases := []struct {
+		n, k int
+		ok   bool
+	}{
+		{40, 3, true},
+		{6, 3, true},   // 2k == n: exactly fits
+		{2, 1, true},   // smallest valid instance
+		{10, 6, false}, // 2k > n: the old silent-clamp case
+		{5, 3, false},
+		{40, 0, false}, // no components
+		{40, -1, false},
+	}
+	for _, c := range cases {
+		err := validatePairCount(c.n, c.k)
+		if (err == nil) != c.ok {
+			t.Errorf("validatePairCount(n=%d, k=%d) = %v, want ok=%v", c.n, c.k, err, c.ok)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Command dsfserve runs the long-lived solver service: workload families
+// and parsed instances stay resident, solve requests are admitted into a
+// bounded queue (429 + Retry-After on overflow), compatible requests are
+// coalesced into batches on the solver worker pool, and per-request
+// latency/throughput/rejection metrics are exposed on /statsz.
+//
+// Usage:
+//
+//	dsfserve [-addr :8080] [-depth 64] [-batch 16] [-window 2ms]
+//	         [-workers N] [-retryafter 1s]
+//	         [-preload gnp,planted] [-n 64] [-k 3] [-maxw 64] [-seed 1]
+//	         [-in a.sfi,b.sfi]
+//	dsfserve -smoke [-smokereqs 64] [-smokep99 2000]
+//
+// Endpoints:
+//
+//	POST /solve      {"instance": "gnp-n64-k3-s1", "algorithm": "det",
+//	                  "eps": "1/2", "seed": 7, "nocert": true}
+//	GET  /instances  resident instances
+//	POST /instances  {"family": "planted", "n": 200, "k": 8, "seed": 3}
+//	GET  /healthz    200 ok / 503 draining
+//	GET  /statsz     queue depth, in-flight, p50/p99 latency, throughput,
+//	                  accepted/rejected/completed counters, batch stats
+//
+// -smoke is the CI self-test: it starts the full server on an ephemeral
+// loopback port, replays a closed-loop trace over real HTTP, and exits
+// nonzero unless every request succeeded (no errors, no rejections) with
+// p99 below -smokep99 milliseconds.
+//
+// On SIGINT/SIGTERM the server drains: new requests get 503, every
+// admitted request is answered, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"steinerforest/internal/bench"
+	"steinerforest/internal/serve"
+	"steinerforest/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	depth := flag.Int("depth", 64, "admission queue depth (overflow is answered 429)")
+	maxBatch := flag.Int("batch", 16, "max requests coalesced into one solver batch")
+	window := flag.Duration("window", 2*time.Millisecond, "how long the dispatcher lingers for a batch to form")
+	workers := flag.Int("workers", runtime.NumCPU(), "solver pool workers per batch")
+	retryAfter := flag.Duration("retryafter", time.Second, "Retry-After hint on 429 responses")
+	preload := flag.String("preload", "gnp,planted",
+		"comma-separated workload families to generate at startup (registered: "+strings.Join(workload.Names(), ", ")+")")
+	n := flag.Int("n", 64, "preloaded instance node count")
+	k := flag.Int("k", 3, "preloaded instance component count")
+	maxw := flag.Int64("maxw", 64, "preloaded instance max edge weight")
+	seed := flag.Int64("seed", 1, "preloaded instance generation seed")
+	in := flag.String("in", "", "comma-separated instance files to preload (named by basename)")
+	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, replay a closed-loop trace, assert p99 and zero errors")
+	smokeReqs := flag.Int("smokereqs", 64, "with -smoke: trace length")
+	smokeP99 := flag.Float64("smokep99", 2000, "with -smoke: max acceptable p99 latency in ms")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		QueueDepth:  *depth,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *window,
+		Workers:     *workers,
+		RetryAfter:  *retryAfter,
+	})
+	for _, fam := range splitList(*preload) {
+		info, err := srv.GenerateInstance("", fam, workload.Params{N: *n, K: *k, MaxW: *maxw, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfserve:", err)
+			return 1
+		}
+		fmt.Printf("resident: %s (n=%d m=%d k=%d)\n", info.Name, info.Nodes, info.Edges, info.K)
+	}
+	for _, path := range splitList(*in) {
+		ins, err := workload.ReadInstanceFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfserve:", err)
+			return 1
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if err := srv.RegisterInstance(name, ins, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfserve:", err)
+			return 1
+		}
+		fmt.Printf("resident: %s (from %s, n=%d m=%d k=%d)\n",
+			name, path, ins.G.N(), ins.G.M(), ins.NumComponents())
+	}
+	if len(srv.Instances()) == 0 {
+		fmt.Fprintln(os.Stderr, "dsfserve: nothing resident (set -preload or -in; instances can also be added later via POST /instances)")
+	}
+
+	if *smoke {
+		return runSmoke(srv, *smokeReqs, *smokeP99)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("dsfserve listening on %s (depth=%d batch=%d window=%s workers=%d)\n",
+		*addr, *depth, *maxBatch, *window, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dsfserve:", err)
+		return 1
+	case s := <-sig:
+		fmt.Printf("dsfserve: %v: draining (new requests get 503, admitted requests are answered)\n", s)
+		// Stop admission and answer everything already queued, then let
+		// the HTTP server finish writing those responses.
+		srv.Shutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfserve: shutdown:", err)
+			return 1
+		}
+		st := srv.Statsz()
+		fmt.Printf("dsfserve: drained: %d completed, %d rejected, %d errors\n",
+			st.Completed, st.Rejected, st.Errors)
+		return 0
+	}
+}
+
+// runSmoke is the CI self-test: real server, real HTTP, closed-loop
+// trace, hard assertions on errors/rejections/p99.
+func runSmoke(srv *serve.Server, reqs int, maxP99 float64) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsfserve:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	var names []string
+	for _, info := range srv.Instances() {
+		names = append(names, info.Name)
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "dsfserve: -smoke needs at least one preloaded instance")
+		return 1
+	}
+
+	if resp, err := http.Get(url + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "dsfserve: healthz not ok (err=%v)\n", err)
+		return 1
+	}
+	res := bench.ClosedLoopLoad(url, bench.ServeTrace(names, reqs), 8)
+	st := srv.Statsz()
+	fmt.Printf("smoke: %d requests, %d ok, %d rejected, %d errors, p50 %.2fms p99 %.2fms, %.1f req/s, mean batch %.2f\n",
+		res.Requests, res.OK, res.Rejected, res.Errors, res.P50, res.P99, res.PerSec, st.MeanBatch)
+
+	srv.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+
+	switch {
+	case res.Errors > 0 || res.Rejected > 0 || res.OK != res.Requests:
+		fmt.Fprintln(os.Stderr, "dsfserve: smoke FAILED: not every request served")
+		return 1
+	case res.P99 > maxP99:
+		fmt.Fprintf(os.Stderr, "dsfserve: smoke FAILED: p99 %.2fms exceeds %.0fms\n", res.P99, maxP99)
+		return 1
+	}
+	fmt.Println("smoke OK")
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

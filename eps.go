@@ -1,0 +1,44 @@
+package steinerforest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseEps parses an epsilon given as "num/den" (e.g. "1/2") into the
+// Spec.EpsNum/EpsDen pair. The parse is strict: exactly one '/', both
+// sides plain positive base-10 integers, no surrounding or trailing
+// garbage. It is the one epsilon parser shared by dsfrun's -eps flag and
+// dsfserve's request decoding, so both reject "1/2junk", "3/4/5", "1/0"
+// and "-1/2" with the same message instead of deferring to a late solver
+// error.
+func ParseEps(s string) (num, den int64, err error) {
+	bad := func() (int64, int64, error) {
+		return 0, 0, fmt.Errorf("steinerforest: bad epsilon %q (want num/den with positive integers, e.g. 1/2)", s)
+	}
+	numStr, denStr, ok := strings.Cut(s, "/")
+	if !ok || !allDigits(numStr) || !allDigits(denStr) {
+		return bad()
+	}
+	num, errN := strconv.ParseInt(numStr, 10, 64)
+	den, errD := strconv.ParseInt(denStr, 10, 64)
+	if errN != nil || errD != nil || num <= 0 || den <= 0 {
+		return bad()
+	}
+	return num, den, nil
+}
+
+// allDigits rejects everything ParseInt would tolerate beyond a plain
+// positive decimal: signs, spaces, and empty strings.
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

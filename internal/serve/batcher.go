@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"time"
+
+	steinerforest "steinerforest"
+)
+
+// batchKey groups requests that may share one dispatch. Seed and epsilon
+// stay per-slot (SolveBatchSpecs carries a full Spec per instance), so
+// the key only holds the knobs that change the pool's execution profile.
+type batchKey struct {
+	algorithm   string
+	noCert      bool
+	parallelism int
+}
+
+type jobResult struct {
+	res   *steinerforest.Result
+	err   error
+	batch int // size of the batch the job rode in
+}
+
+// job is one admitted solve request waiting for its batch.
+type job struct {
+	ins      *steinerforest.Instance
+	spec     steinerforest.Spec
+	key      batchKey
+	admitted time.Time
+	done     chan jobResult // buffered(1): dispatch never blocks on a gone client
+}
+
+// admitOutcome distinguishes the three admission answers.
+type admitOutcome int
+
+const (
+	admitted admitOutcome = iota
+	admitFull
+	admitDraining
+)
+
+// admit tries to enqueue j without blocking: a full queue is an
+// immediate rejection (the handler turns it into 429 + Retry-After), and
+// a draining server refuses outright (503). The shared lock pairs with
+// Shutdown's exclusive section so that after Shutdown flips the flag, no
+// admission can still be in flight.
+func (s *Server) admit(j *job) admitOutcome {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		s.metrics.incDrained()
+		return admitDraining
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.incAccepted()
+		return admitted
+	default:
+		s.metrics.incRejected()
+		return admitFull
+	}
+}
+
+// dispatchLoop is the single dispatcher: it pulls the first queued job,
+// lingers BatchWindow to let a batch form, drains whatever else queued
+// meanwhile, groups the drained jobs by batchKey (arrival order
+// preserved), and dispatches each group onto the solver pool. One batch
+// runs at a time; requests arriving during a solve queue up and form the
+// next batches, which is where coalescing pays off under load.
+func (s *Server) dispatchLoop() {
+	defer s.batcher.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
+				time.Sleep(s.cfg.BatchWindow)
+			}
+			s.dispatchAll(s.drainQueue(j))
+		case <-s.stop:
+			// Admission is closed; finish whatever was already queued.
+			for {
+				select {
+				case j := <-s.queue:
+					s.dispatchAll(s.drainQueue(j))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// drainQueue collects head plus every job immediately available.
+func (s *Server) drainQueue(head *job) []*job {
+	jobs := []*job{head}
+	for {
+		select {
+		case j := <-s.queue:
+			jobs = append(jobs, j)
+		default:
+			return jobs
+		}
+	}
+}
+
+// dispatchAll groups jobs by batchKey and dispatches each group in the
+// arrival order of its first member, splitting groups at MaxBatch.
+func (s *Server) dispatchAll(jobs []*job) {
+	byKey := make(map[batchKey][]*job)
+	var order []batchKey
+	for _, j := range jobs {
+		if _, seen := byKey[j.key]; !seen {
+			order = append(order, j.key)
+		}
+		byKey[j.key] = append(byKey[j.key], j)
+	}
+	for _, key := range order {
+		group := byKey[key]
+		for len(group) > 0 {
+			n := min(len(group), s.cfg.MaxBatch)
+			s.dispatch(group[:n])
+			group = group[n:]
+		}
+	}
+}
+
+// dispatch runs one batch on the solver pool and answers every job.
+func (s *Server) dispatch(batch []*job) {
+	instances := make([]*steinerforest.Instance, len(batch))
+	specs := make([]steinerforest.Spec, len(batch))
+	for i, j := range batch {
+		instances[i], specs[i] = j.ins, j.spec
+	}
+	s.inFlightMu.Lock()
+	s.inFlight += len(batch)
+	s.inFlightMu.Unlock()
+	s.metrics.recordBatch(len(batch))
+
+	results, err := s.solveBatch(instances, specs, s.cfg.Workers)
+	if err != nil {
+		// A pooled failure reports only the lowest failing index; re-run
+		// the batch per-slot so every client gets its own precise error
+		// (or its result — slot independence makes the re-run identical).
+		for i, j := range batch {
+			res, jerr := steinerforest.Solve(instances[i], specs[i])
+			s.finish(j, jobResult{res: res, err: jerr, batch: len(batch)})
+		}
+	} else {
+		for i, j := range batch {
+			s.finish(j, jobResult{res: results[i], batch: len(batch)})
+		}
+	}
+	s.inFlightMu.Lock()
+	s.inFlight -= len(batch)
+	s.inFlightMu.Unlock()
+}
+
+func (s *Server) finish(j *job, r jobResult) {
+	s.metrics.recordDone(time.Since(j.admitted), r.err != nil)
+	j.done <- r
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"strconv"
+	"time"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/workload"
+)
+
+// SolveRequest is the POST /solve body. Instance names a resident
+// instance; every other field maps onto the corresponding Spec knob and
+// is validated at admission (Spec.Validate plus the strict epsilon
+// parser), so malformed requests fail with 400 and a precise message
+// instead of a late solver error.
+type SolveRequest struct {
+	Instance    string `json:"instance"`
+	Algorithm   string `json:"algorithm,omitempty"` // "" = det
+	Eps         string `json:"eps,omitempty"`       // "num/den", e.g. "1/2"
+	Seed        int64  `json:"seed,omitempty"`
+	Bandwidth   int    `json:"bandwidth,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	MaxRounds   int    `json:"max_rounds,omitempty"`
+	NoCert      bool   `json:"nocert,omitempty"`
+}
+
+// Spec translates the request into the Spec its batch slot will carry.
+// The request's seed is used verbatim — this is what makes serving
+// bit-identical to standalone Solve calls regardless of batching.
+func (r SolveRequest) Spec() (steinerforest.Spec, error) {
+	spec := steinerforest.Spec{
+		Algorithm:     r.Algorithm,
+		Seed:          r.Seed,
+		Bandwidth:     r.Bandwidth,
+		Parallelism:   r.Parallelism,
+		MaxRounds:     r.MaxRounds,
+		NoCertificate: r.NoCert,
+	}
+	if r.Eps != "" {
+		num, den, err := steinerforest.ParseEps(r.Eps)
+		if err != nil {
+			return steinerforest.Spec{}, err
+		}
+		spec.EpsNum, spec.EpsDen = num, den
+	}
+	if err := spec.Validate(); err != nil {
+		return steinerforest.Spec{}, err
+	}
+	return spec, nil
+}
+
+// SolveResponse is the POST /solve answer.
+type SolveResponse struct {
+	Instance   string  `json:"instance"`
+	Algorithm  string  `json:"algorithm"`
+	Weight     int64   `json:"weight"`
+	Edges      int     `json:"edges"`
+	LowerBound float64 `json:"lower_bound,omitempty"`
+	Certified  bool    `json:"certified"`
+	Rounds     int     `json:"rounds,omitempty"`
+	Messages   int64   `json:"messages,omitempty"`
+	Bits       int64   `json:"bits,omitempty"`
+	Batch      int     `json:"batch"`      // size of the batch this request rode in
+	ElapsedMS  float64 `json:"elapsed_ms"` // admission to completion, server-side
+}
+
+// GenerateRequest is the POST /instances body: generate a workload-family
+// instance and keep it resident.
+type GenerateRequest struct {
+	Name   string `json:"name,omitempty"` // default "<family>-n<N>-k<K>-s<Seed>"
+	Family string `json:"family"`
+	N      int    `json:"n,omitempty"`
+	K      int    `json:"k,omitempty"`
+	MaxW   int64  `json:"maxw,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the service's HTTP routes:
+//
+//	POST /solve      solve a resident instance (429 + Retry-After on overflow)
+//	GET  /instances  list resident instances
+//	POST /instances  generate + register a workload-family instance
+//	GET  /healthz    200 "ok", 503 "draining" once Shutdown began
+//	GET  /statsz     metrics snapshot (queue depth, in-flight, p50/p99, ...)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /instances", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Instances())
+	})
+	mux.HandleFunc("POST /instances", s.handleGenerate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Statsz())
+	})
+	return mux
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Instance == "" {
+		writeError(w, http.StatusBadRequest, "missing instance name")
+		return
+	}
+	e := s.lookup(req.Instance)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no resident instance %q (see GET /instances)", req.Instance)
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	algo := spec.Algorithm
+	if algo == "" {
+		algo = "det"
+	}
+	if !slices.Contains(steinerforest.Algorithms(), algo) {
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q (registered: %v)", algo, steinerforest.Algorithms())
+		return
+	}
+
+	j := &job{
+		ins:      e.ins,
+		spec:     spec,
+		key:      batchKey{algorithm: algo, noCert: spec.NoCertificate, parallelism: spec.Parallelism},
+		admitted: time.Now(),
+		done:     make(chan jobResult, 1),
+	}
+	switch s.admit(j) {
+	case admitFull:
+		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "admission queue full (depth %d); retry after %ds", s.cfg.QueueDepth, secs)
+		return
+	case admitDraining:
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+
+	select {
+	case out := <-j.done:
+		if out.err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", out.err)
+			return
+		}
+		res := out.res
+		resp := SolveResponse{
+			Instance: req.Instance, Algorithm: res.Algorithm,
+			Weight: res.Weight, Edges: res.Solution.Size(),
+			LowerBound: res.LowerBound, Certified: res.Certified,
+			Batch:     out.batch,
+			ElapsedMS: float64(time.Since(j.admitted).Microseconds()) / 1000.0,
+		}
+		if res.Stats != nil {
+			resp.Rounds = res.Stats.Rounds
+			resp.Messages = res.Stats.Messages
+			resp.Bits = res.Stats.Bits
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		// Client gone; the buffered done channel lets the dispatcher
+		// finish the slot without blocking.
+		writeError(w, http.StatusServiceUnavailable, "client cancelled")
+	}
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Family == "" {
+		writeError(w, http.StatusBadRequest, "missing family (registered: %v)", workload.Names())
+		return
+	}
+	info, err := s.GenerateInstance(req.Name, req.Family, workload.Params{
+		N: req.N, K: req.K, MaxW: req.MaxW, Seed: req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is the /statsz snapshot: admission counters, live gauges, and the
+// latency distribution of completed requests since the last reset. All
+// latency figures are admission-to-response milliseconds measured
+// server-side, so they include queueing and batching delay, not just
+// solver time.
+type Stats struct {
+	// Admission counters.
+	Accepted  uint64 `json:"accepted"`  // admitted into the queue
+	Rejected  uint64 `json:"rejected"`  // 429: queue full
+	Drained   uint64 `json:"drained"`   // 503: draining at admission time
+	Completed uint64 `json:"completed"` // solved and answered
+	Errors    uint64 `json:"errors"`    // failed in the solver
+
+	// Live gauges.
+	QueueDepth int `json:"queue_depth"` // requests admitted but not yet dispatched
+	InFlight   int `json:"in_flight"`   // requests inside a running batch
+
+	// Batching.
+	Batches     uint64  `json:"batches"`       // dispatched batches
+	BatchedReqs uint64  `json:"batched_reqs"`  // requests across all batches
+	MeanBatch   float64 `json:"mean_batch"`    // BatchedReqs / Batches
+	MaxBatchLen int     `json:"max_batch_len"` // largest batch dispatched
+
+	// Latency of completed requests (ms) and throughput since the last
+	// reset.
+	P50ms     float64 `json:"p50_ms"`
+	P99ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	UptimeSec float64 `json:"uptime_sec"`
+	PerSec    float64 `json:"per_sec"` // Completed / UptimeSec
+}
+
+// metrics aggregates the server's counters and latency samples. The
+// latency reservoir keeps every completed sample (bounded by capSamples
+// with random-free decimation: once full, every second sample is kept),
+// so quantiles are exact under benchmark-scale load and still sane under
+// long-lived service load.
+type metrics struct {
+	mu        sync.Mutex
+	accepted  uint64
+	rejected  uint64
+	drained   uint64
+	completed uint64
+	errors    uint64
+
+	batches     uint64
+	batchedReqs uint64
+	maxBatchLen int
+
+	latencies []float64 // ms, completed requests only
+	stride    int       // keep every stride-th sample (decimation)
+	skip      int
+	start     time.Time
+}
+
+const capSamples = 1 << 16
+
+func newMetrics() *metrics {
+	return &metrics{stride: 1, start: time.Now()}
+}
+
+// reset clears counters and samples (the load harness calls this after
+// its warm-up phase so measured quantiles exclude warm-up requests).
+func (m *metrics) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accepted, m.rejected, m.drained, m.completed, m.errors = 0, 0, 0, 0, 0
+	m.batches, m.batchedReqs, m.maxBatchLen = 0, 0, 0
+	m.latencies = m.latencies[:0]
+	m.stride, m.skip = 1, 0
+	m.start = time.Now()
+}
+
+func (m *metrics) incAccepted() { m.mu.Lock(); m.accepted++; m.mu.Unlock() }
+func (m *metrics) incRejected() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) incDrained()  { m.mu.Lock(); m.drained++; m.mu.Unlock() }
+
+func (m *metrics) recordBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchedReqs += uint64(size)
+	if size > m.maxBatchLen {
+		m.maxBatchLen = size
+	}
+}
+
+// recordDone records one finished request: its latency when it succeeded,
+// an error count otherwise.
+func (m *metrics) recordDone(latency time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if failed {
+		m.errors++
+		return
+	}
+	m.completed++
+	m.skip++
+	if m.skip < m.stride {
+		return
+	}
+	m.skip = 0
+	m.latencies = append(m.latencies, float64(latency.Microseconds())/1000.0)
+	if len(m.latencies) >= capSamples {
+		// Decimate in place: keep every second retained sample and double
+		// the stride, so the reservoir stays a uniform systematic sample.
+		kept := m.latencies[:0]
+		for i := 0; i < len(m.latencies); i += 2 {
+			kept = append(kept, m.latencies[i])
+		}
+		m.latencies = kept
+		m.stride *= 2
+	}
+}
+
+// quantile returns the q-quantile (0..1) of sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// snapshot renders the current Stats; queueDepth and inFlight are read
+// from the server's live gauges by the caller.
+func (m *metrics) snapshot(queueDepth, inFlight int) Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sorted := append([]float64(nil), m.latencies...)
+	sort.Float64s(sorted)
+	up := time.Since(m.start).Seconds()
+	s := Stats{
+		Accepted: m.accepted, Rejected: m.rejected, Drained: m.drained,
+		Completed: m.completed, Errors: m.errors,
+		QueueDepth: queueDepth, InFlight: inFlight,
+		Batches: m.batches, BatchedReqs: m.batchedReqs, MaxBatchLen: m.maxBatchLen,
+		P50ms: quantile(sorted, 0.50), P99ms: quantile(sorted, 0.99),
+		UptimeSec: up,
+	}
+	if len(sorted) > 0 {
+		s.MaxMs = sorted[len(sorted)-1]
+	}
+	if m.batches > 0 {
+		s.MeanBatch = float64(m.batchedReqs) / float64(m.batches)
+	}
+	if up > 0 {
+		s.PerSec = float64(m.completed) / up
+	}
+	return s
+}

@@ -1,0 +1,228 @@
+// Package serve is the long-lived solver service behind cmd/dsfserve: it
+// keeps workload families and parsed instances resident, admits solve
+// requests into a bounded queue (429 + Retry-After on overflow), coalesces
+// compatible requests into batches dispatched onto the root package's
+// SolveBatchSpecs worker pool, and exposes the results — plus queue/
+// latency/throughput metrics — over HTTP/JSON.
+//
+// The serving contract is bit-determinism end to end: a request's seed is
+// used verbatim in its per-slot Spec, so the response is identical to a
+// standalone Solve(ins, spec) no matter how requests were coalesced, how
+// loaded the server was, or which batch composition they landed in
+// (SolveBatchSpecs pins slot i to Solve(instances[i], specs[i]) at every
+// worker count). Batching changes latency, never answers.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/steiner"
+	"steinerforest/internal/workload"
+)
+
+// Config tunes one Server. The zero value is usable: every field falls
+// back to the documented default.
+type Config struct {
+	// QueueDepth bounds the admission queue (default 64). A request
+	// arriving while the queue is full is rejected with 429 and a
+	// Retry-After hint rather than blocking the handler.
+	QueueDepth int
+
+	// MaxBatch caps how many compatible requests one dispatch coalesces
+	// (default 16).
+	MaxBatch int
+
+	// BatchWindow is how long the dispatcher lingers after the first
+	// queued request to let a batch form (default 2ms; negative disables
+	// the linger, so batches only form from requests that queued while a
+	// previous batch was solving).
+	BatchWindow time.Duration
+
+	// Workers sizes the solver pool a batch is dispatched onto
+	// (default runtime.NumCPU()).
+	Workers int
+
+	// RetryAfter is the hint returned with 429 responses, rounded up to
+	// whole seconds (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// InstanceInfo describes one resident instance for /instances.
+type InstanceInfo struct {
+	Name      string `json:"name"`
+	Nodes     int    `json:"n"`
+	Edges     int    `json:"m"`
+	K         int    `json:"k"`
+	Terminals int    `json:"t"`
+	Family    string `json:"family,omitempty"` // generator family, when known
+}
+
+type entry struct {
+	info InstanceInfo
+	ins  *steiner.Instance
+}
+
+// Server is the solver service. Create with New, expose with Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	queue   chan *job
+	stop    chan struct{}
+	batcher sync.WaitGroup
+	metrics *metrics
+
+	// admitMu guards the draining flag against in-progress admissions:
+	// handlers hold it shared around the check-then-enqueue, Shutdown
+	// holds it exclusively while flipping the flag, so after Shutdown
+	// releases it no new job can reach the queue.
+	admitMu  sync.RWMutex
+	draining bool
+
+	// inFlight counts requests inside a running batch (gauge only).
+	inFlightMu sync.Mutex
+	inFlight   int
+
+	instMu    sync.RWMutex
+	instances map[string]*entry
+
+	// solveBatch is the dispatch function; tests swap it to control
+	// batch timing without a real solver run.
+	solveBatch func(ins []*steinerforest.Instance, specs []steinerforest.Spec, workers int) ([]*steinerforest.Result, error)
+}
+
+// New returns a started Server (its dispatcher is running; requests can
+// be admitted as soon as an instance is resident).
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:        cfg.withDefaults(),
+		metrics:    newMetrics(),
+		stop:       make(chan struct{}),
+		instances:  make(map[string]*entry),
+		solveBatch: steinerforest.SolveBatchSpecs,
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.batcher.Add(1)
+	go s.dispatchLoop()
+	return s
+}
+
+// RegisterInstance makes ins resident under name. The graph is frozen
+// eagerly so concurrent solves never race the lazy staging-to-CSR
+// compaction. Family is recorded for /instances (may be empty).
+func (s *Server) RegisterInstance(name string, ins *steiner.Instance, family string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty instance name")
+	}
+	if err := ins.Validate(); err != nil {
+		return fmt.Errorf("serve: instance %q: %w", name, err)
+	}
+	ins.G.Freeze()
+	info := InstanceInfo{
+		Name: name, Nodes: ins.G.N(), Edges: ins.G.M(),
+		K: ins.NumComponents(), Terminals: ins.NumTerminals(), Family: family,
+	}
+	s.instMu.Lock()
+	defer s.instMu.Unlock()
+	if _, dup := s.instances[name]; dup {
+		return fmt.Errorf("serve: instance %q already resident", name)
+	}
+	s.instances[name] = &entry{info: info, ins: ins}
+	return nil
+}
+
+// GenerateInstance generates a workload-family instance and registers it.
+func (s *Server) GenerateInstance(name, family string, p workload.Params) (InstanceInfo, error) {
+	out, err := workload.Generate(family, p)
+	if err != nil {
+		return InstanceInfo{}, err
+	}
+	if name == "" {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1 // workload's documented default
+		}
+		name = fmt.Sprintf("%s-n%d-k%d-s%d", family, out.Instance.G.N(), out.Instance.NumComponents(), seed)
+	}
+	if err := s.RegisterInstance(name, out.Instance, family); err != nil {
+		return InstanceInfo{}, err
+	}
+	return s.lookup(name).info, nil
+}
+
+func (s *Server) lookup(name string) *entry {
+	s.instMu.RLock()
+	defer s.instMu.RUnlock()
+	return s.instances[name]
+}
+
+// Instances lists the resident instances sorted by name.
+func (s *Server) Instances() []InstanceInfo {
+	s.instMu.RLock()
+	defer s.instMu.RUnlock()
+	infos := make([]InstanceInfo, 0, len(s.instances))
+	for _, e := range s.instances {
+		infos = append(infos, e.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Statsz snapshots the metrics (the /statsz payload).
+func (s *Server) Statsz() Stats {
+	s.inFlightMu.Lock()
+	inFlight := s.inFlight
+	s.inFlightMu.Unlock()
+	return s.metrics.snapshot(len(s.queue), inFlight)
+}
+
+// ResetMetrics clears counters and latency samples; the load harness
+// calls it between its warm-up and measured phases.
+func (s *Server) ResetMetrics() { s.metrics.reset() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// Shutdown stops admission (new requests get 503), drains every admitted
+// request through the solver, and waits for the dispatcher to exit. It
+// is idempotent; concurrent handlers that already admitted their request
+// receive their response before Shutdown returns.
+func (s *Server) Shutdown() {
+	s.admitMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.admitMu.Unlock()
+	if !already {
+		// After the exclusive section above, no handler can still be
+		// inside check-then-enqueue: everything in the queue is final.
+		close(s.stop)
+	}
+	s.batcher.Wait()
+}

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/graph"
+	"steinerforest/internal/steiner"
+)
+
+// testInstance builds a small GNP pair instance the real solvers accept.
+func testInstance(t *testing.T) *steiner.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g := graph.GNP(32, 0.2, graph.RandomWeights(rng, 32), rng)
+	ins := steiner.NewInstance(g)
+	perm := rng.Perm(32)
+	for c := 0; c < 3; c++ {
+		ins.SetComponent(c, perm[2*c], perm[2*c+1])
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatalf("test instance invalid: %v", err)
+	}
+	return ins
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	if err := srv.RegisterInstance("path", testInstance(t), "gnp"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Shutdown()
+		ts.Close()
+	})
+	return srv, ts
+}
+
+func postSolve(t *testing.T, url string, req SolveRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestOverflowReturns429WithoutBlocking pins the bounded-admission
+// contract: with depth 1 and a solver stalled mid-batch, the first
+// request is dispatched, the second fills the queue, and the third must
+// get an immediate 429 with a Retry-After header — the handler may not
+// block waiting for capacity.
+func TestOverflowReturns429WithoutBlocking(t *testing.T) {
+	// started is buffered: the stub runs once per dispatched batch, and
+	// after release only the first signal has a reader.
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		QueueDepth: 1, MaxBatch: 1, BatchWindow: -1, Workers: 1,
+		RetryAfter: 3 * time.Second,
+	})
+	// Stall the solver so the first request occupies the dispatcher and
+	// the second stays queued. Fabricated results keep the handler path
+	// (response encoding) realistic without a real solve.
+	srv.solveBatch = func(ins []*steinerforest.Instance, specs []steinerforest.Spec, workers int) ([]*steinerforest.Result, error) {
+		started <- struct{}{}
+		<-release
+		results := make([]*steinerforest.Result, len(ins))
+		for i := range ins {
+			results[i] = &steinerforest.Result{
+				Solution:  steiner.NewSolution(ins[i].G),
+				Algorithm: specs[i].Algorithm,
+			}
+		}
+		return results, nil
+	}
+
+	codes := make(chan int, 2)
+	var wg sync.WaitGroup
+	solve := func() {
+		defer wg.Done()
+		resp, _ := postSolve(t, ts.URL, SolveRequest{Instance: "path", NoCert: true})
+		codes <- resp.StatusCode
+	}
+	wg.Add(1)
+	go solve()
+	<-started // request 1 is inside the stalled batch; the queue is empty
+
+	wg.Add(1)
+	go solve()
+	// Wait for request 2 to occupy the queue's single slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Statsz().Accepted < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("request 2 never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	begin := time.Now()
+	resp, body := postSolve(t, ts.URL, SolveRequest{Instance: "path", NoCert: true})
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Errorf("overflow response took %v; must not block on the stalled solver", elapsed)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want %q", ra, "3")
+	}
+	if st := srv.Statsz(); st.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", st.Rejected)
+	}
+
+	close(release)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("admitted request finished with %d, want 200", code)
+		}
+	}
+}
+
+// TestBatchCoalescingBitIdentical is the serving determinism contract:
+// requests coalesced into one batch (a long linger window forces them
+// together) must answer bit-identically to standalone Solve calls with
+// the same instance and spec.
+func TestBatchCoalescingBitIdentical(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		QueueDepth: 64, MaxBatch: 8, BatchWindow: 100 * time.Millisecond, Workers: 2,
+	})
+	ins := srv.lookup("path").ins
+
+	const reqs = 8
+	type answer struct {
+		seed int64
+		resp SolveResponse
+	}
+	answers := make(chan answer, reqs)
+	var wg sync.WaitGroup
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			resp, body := postSolve(t, ts.URL, SolveRequest{
+				Instance: "path", Algorithm: "det", Seed: seed,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("seed %d: status %d (body %s)", seed, resp.StatusCode, body)
+				return
+			}
+			var out SolveResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Errorf("seed %d: bad response: %v", seed, err)
+				return
+			}
+			answers <- answer{seed, out}
+		}(int64(1 + i%3)) // repeated seeds: identical requests must stay identical
+	}
+	wg.Wait()
+	close(answers)
+
+	for a := range answers {
+		want, err := steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "det", Seed: a.seed})
+		if err != nil {
+			t.Fatalf("standalone solve seed %d: %v", a.seed, err)
+		}
+		got := a.resp
+		if got.Weight != want.Weight || got.Edges != want.Solution.Size() ||
+			got.Certified != want.Certified || got.LowerBound != want.LowerBound ||
+			got.Rounds != want.Stats.Rounds || got.Messages != want.Stats.Messages ||
+			got.Bits != want.Stats.Bits {
+			t.Errorf("seed %d: batched response diverges from standalone Solve:\n got %+v\nwant weight=%d edges=%d cert=%v lb=%v rounds=%d msgs=%d bits=%d",
+				a.seed, got, want.Weight, want.Solution.Size(), want.Certified,
+				want.LowerBound, want.Stats.Rounds, want.Stats.Messages, want.Stats.Bits)
+		}
+	}
+	if st := srv.Statsz(); st.MaxBatchLen < 2 {
+		t.Errorf("max batch len = %d; the linger window should have coalesced concurrent requests", st.MaxBatchLen)
+	}
+}
+
+// TestShutdownDrainsInFlight (run under -race in CI) pins graceful
+// shutdown: every admitted request is answered 200, requests after
+// Shutdown get 503, and /healthz flips to draining.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		QueueDepth: 16, MaxBatch: 8, BatchWindow: 50 * time.Millisecond, Workers: 2,
+	})
+
+	const reqs = 8
+	codes := make(chan int, reqs)
+	var wg sync.WaitGroup
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			resp, _ := postSolve(t, ts.URL, SolveRequest{
+				Instance: "path", Algorithm: "det", Seed: seed, NoCert: true,
+			})
+			codes <- resp.StatusCode
+		}(int64(i + 1))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Statsz().Accepted < reqs {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests admitted", srv.Statsz().Accepted, reqs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv.Shutdown() // races the linger window on purpose: drain must still answer all 8
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("admitted request answered %d after Shutdown, want 200", code)
+		}
+	}
+
+	resp, body := postSolve(t, ts.URL, SolveRequest{Instance: "path", NoCert: true})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown solve status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz status = %d, want 503", health.StatusCode)
+	}
+	if !srv.Draining() {
+		t.Error("Draining() = false after Shutdown")
+	}
+	srv.Shutdown() // idempotent
+}
+
+// TestSolveValidation pins the request-validation status codes: unknown
+// instances are 404, malformed specs (bad epsilon, unknown algorithm,
+// negative knobs) are 400 with the strict parser/validator messages.
+func TestSolveValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: -1})
+
+	cases := []struct {
+		name string
+		req  SolveRequest
+		want int
+	}{
+		{"unknown instance", SolveRequest{Instance: "nope"}, http.StatusNotFound},
+		{"missing instance", SolveRequest{}, http.StatusBadRequest},
+		{"bad eps", SolveRequest{Instance: "path", Eps: "1/2junk"}, http.StatusBadRequest},
+		{"zero-den eps", SolveRequest{Instance: "path", Eps: "1/0"}, http.StatusBadRequest},
+		{"unknown algorithm", SolveRequest{Instance: "path", Algorithm: "magic"}, http.StatusBadRequest},
+		{"negative parallelism", SolveRequest{Instance: "path", Parallelism: -2}, http.StatusBadRequest},
+		{"negative max rounds", SolveRequest{Instance: "path", MaxRounds: -1}, http.StatusBadRequest},
+		{"ok", SolveRequest{Instance: "path", NoCert: true}, http.StatusOK},
+	}
+	for _, c := range cases {
+		resp, body := postSolve(t, ts.URL, c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (body %s)", c.name, resp.StatusCode, c.want, body)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatalf("POST bad body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestInstancesEndpoint round-trips POST /instances -> GET /instances ->
+// POST /solve against the generated instance, and checks duplicate names
+// are refused.
+func TestInstancesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: -1})
+
+	gen := GenerateRequest{Family: "gnp", N: 48, K: 3, MaxW: 32, Seed: 5}
+	body, _ := json.Marshal(gen)
+	resp, err := http.Post(ts.URL+"/instances", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /instances: %v", err)
+	}
+	var info InstanceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode info: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /instances status = %d, want 201", resp.StatusCode)
+	}
+	if info.Name != fmt.Sprintf("gnp-n%d-k%d-s5", info.Nodes, info.K) {
+		t.Errorf("default instance name %q does not encode its parameters", info.Name)
+	}
+
+	listResp, err := http.Get(ts.URL + "/instances")
+	if err != nil {
+		t.Fatalf("GET /instances: %v", err)
+	}
+	var infos []InstanceInfo
+	if err := json.NewDecoder(listResp.Body).Decode(&infos); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	listResp.Body.Close()
+	names := make(map[string]bool, len(infos))
+	for _, i := range infos {
+		names[i.Name] = true
+	}
+	if !names["path"] || !names[info.Name] {
+		t.Errorf("GET /instances = %v, want both %q and %q resident", names, "path", info.Name)
+	}
+
+	if solveResp, sbody := postSolve(t, ts.URL, SolveRequest{Instance: info.Name, NoCert: true}); solveResp.StatusCode != http.StatusOK {
+		t.Errorf("solve on generated instance: status %d (body %s)", solveResp.StatusCode, sbody)
+	}
+
+	// Same generate again: the default name collides and must be refused.
+	dupResp, err := http.Post(ts.URL+"/instances", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /instances dup: %v", err)
+	}
+	dupResp.Body.Close()
+	if dupResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate instance status = %d, want 400", dupResp.StatusCode)
+	}
+}
+
+// TestRegisterInstanceValidates pins server-side instance hygiene: empty
+// names and invalid instances are refused before becoming resident.
+func TestRegisterInstanceValidates(t *testing.T) {
+	srv := New(Config{BatchWindow: -1})
+	defer srv.Shutdown()
+	if err := srv.RegisterInstance("", testInstance(t), ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	// label slice shorter than the node count: structurally invalid
+	bad := &steiner.Instance{G: graph.New(4), Label: make([]int, 2)}
+	if err := srv.RegisterInstance("bad", bad, ""); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}

@@ -79,6 +79,31 @@ type Spec struct {
 	NoCertificate bool
 }
 
+// Validate rejects Spec values no solver can act on, with errors precise
+// enough to hand straight back to an API client: negative resource knobs
+// (which the option translation would otherwise silently treat as
+// defaults) and half-set or non-positive epsilons (which used to surface
+// only as a confusing late "detforest: invalid epsilon 0/2"). Solve calls
+// it on every request, so the CLIs, SolveBatch, and the serve layer all
+// reject nonsense at the entry point.
+func (s Spec) Validate() error {
+	if s.Parallelism < 0 {
+		return fmt.Errorf("steinerforest: negative Parallelism %d (want 0 for serial or a positive worker count)", s.Parallelism)
+	}
+	if s.Bandwidth < 0 {
+		return fmt.Errorf("steinerforest: negative Bandwidth %d (want 0 for the default O(log n) budget or a positive bit count)", s.Bandwidth)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("steinerforest: negative MaxRounds %d (want 0 for the default cap or a positive round limit)", s.MaxRounds)
+	}
+	if s.EpsNum != 0 || s.EpsDen != 0 {
+		if s.EpsNum <= 0 || s.EpsDen <= 0 {
+			return fmt.Errorf("steinerforest: invalid epsilon %d/%d (want positive EpsNum and EpsDen, or both zero for the default 1/2)", s.EpsNum, s.EpsDen)
+		}
+	}
+	return nil
+}
+
 // options translates the Spec into simulator options.
 func (s Spec) options() []congest.Option {
 	var opts []congest.Option
@@ -150,6 +175,9 @@ func Algorithms() []string {
 // result, including the certified lower bound on OPT unless
 // spec.NoCertificate is set.
 func Solve(ins *Instance, spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	name := spec.Algorithm
 	if name == "" {
 		name = "det"
