@@ -61,7 +61,7 @@ baseline:
 	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
 
 snapshot:
-	$(GO) run ./cmd/dsfbench -json > BENCH_pr7.json
+	$(GO) run ./cmd/dsfbench -json > BENCH_pr8.json
 
 # Short-mode run of the scheduler experiments: asserts the fast paths
 # (E2) and the continuation scheduler (E3) stay bit-identical to their
@@ -71,6 +71,7 @@ bench-smoke:
 	$(GO) run ./cmd/dsfbench -quick -table e3 -json -memprofile bench-e3-heap.pprof >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table e5 -json -memprofile bench-e5-heap.pprof >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table s1 -json >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table s2 -json >/dev/null
 
 # Gate perf changes against the committed snapshots: the correctness
 # columns (rounds, weights, ratios, feasibility) must match exactly; the
@@ -78,8 +79,24 @@ bench-smoke:
 # the peak-RSS columns may not grow beyond MEMTOLERANCE percent, and the
 # timing summary prints the per-column perf trajectory. The report
 # is also written to a file so CI can attach it as an artifact on failure.
+#
+# dsfbench exits 3 when every correctness cell matched and only the
+# timing/memory gate tripped; same-machine timing noise reaches ±25-40%,
+# so exactly that case gets one retry before failing. Correctness drift
+# (exit 1) never retries — a flaky pass there would hide a real bug. The
+# gate runs a built binary, not `go run`, because go run collapses every
+# nonzero child exit to 1 and the 3-vs-1 distinction would be lost.
 bench-compare:
-	$(GO) run ./cmd/dsfbench -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr7.json
+	@$(GO) build -o bench-gate.bin ./cmd/dsfbench; \
+	./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr8.json; \
+	status=$$?; \
+	if [ $$status -eq 3 ]; then \
+		echo "bench-compare: timing-only regression (correctness cells clean); retrying once"; \
+		./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr8.json; \
+		status=$$?; \
+	fi; \
+	rm -f bench-gate.bin; \
+	exit $$status
 
 # The CI bench job: fresh scheduler-identity smoke plus the snapshot gate.
 bench-gate: bench-smoke bench-compare

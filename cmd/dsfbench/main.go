@@ -15,7 +15,10 @@
 // diffs two such snapshots: correctness cells (rounds, weights, ratios,
 // feasibility) must match exactly, timing cells are reported as deltas,
 // and the exit status is nonzero on any correctness drift or on a
-// per-table elapsed-time regression beyond -tolerance percent.
+// per-table elapsed-time regression beyond -tolerance percent. Exit codes
+// distinguish the failure classes: 1 for correctness drift, 3 when every
+// correctness cell matched and only the timing/memory gate tripped —
+// callers may retry exit 3 once (timing noise), never exit 1.
 package main
 
 import (
@@ -172,8 +175,12 @@ func runCompare(oldPath, newPath string, tolerance, memTolerance float64, report
 		fmt.Fprintln(os.Stderr, "dsfbench: correctness drift between snapshots")
 		return 1
 	case res.Regression:
+		// Distinct exit code: every correctness cell matched and only the
+		// timing/memory gate tripped. Same-machine timing noise reaches
+		// ±25-40%, so callers (make bench-compare) retry exactly this case
+		// once before failing; drift is never retried.
 		fmt.Fprintf(os.Stderr, "dsfbench: elapsed-time regression beyond %.0f%% or peak-RSS growth beyond %.0f%%\n", tolerance, memTolerance)
-		return 1
+		return 3
 	}
 	return 0
 }

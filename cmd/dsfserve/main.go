@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dsfserve [-addr :8080] [-depth 64] [-batch 16] [-window 2ms]
-//	         [-workers N] [-retryafter 1s]
+//	         [-workers N] [-retryafter 1s] [-cachemb 64] [-nocache]
 //	         [-preload gnp,planted] [-n 64] [-k 3] [-maxw 64] [-seed 1]
 //	         [-in a.sfi,b.sfi]
 //	dsfserve -smoke [-smokereqs 64] [-smokep99 2000]
@@ -20,7 +20,9 @@
 //	POST /instances  {"family": "planted", "n": 200, "k": 8, "seed": 3}
 //	GET  /healthz    200 ok / 503 draining
 //	GET  /statsz     queue depth, in-flight, p50/p99 latency, throughput,
-//	                  accepted/rejected/completed counters, batch stats
+//	                  accepted/rejected/completed counters, batch stats,
+//	                  cache hit/miss/collapse/eviction counters and bytes,
+//	                  warm/cold arena counts with mean setup ns
 //
 // -smoke is the CI self-test: it starts the full server on an ephemeral
 // loopback port, replays a closed-loop trace over real HTTP, and exits
@@ -61,6 +63,8 @@ func run() int {
 	window := flag.Duration("window", 2*time.Millisecond, "how long the dispatcher lingers for a batch to form")
 	workers := flag.Int("workers", runtime.NumCPU(), "solver pool workers per batch")
 	retryAfter := flag.Duration("retryafter", time.Second, "Retry-After hint on 429 responses")
+	cacheMB := flag.Int64("cachemb", 64, "per-instance result cache budget in MiB (hits answer without re-solving)")
+	noCache := flag.Bool("nocache", false, "disable the result cache and singleflight collapse (every request solves)")
 	preload := flag.String("preload", "gnp,planted",
 		"comma-separated workload families to generate at startup (registered: "+strings.Join(workload.Names(), ", ")+")")
 	n := flag.Int("n", 64, "preloaded instance node count")
@@ -74,11 +78,13 @@ func run() int {
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		QueueDepth:  *depth,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *window,
-		Workers:     *workers,
-		RetryAfter:  *retryAfter,
+		QueueDepth:   *depth,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *window,
+		Workers:      *workers,
+		RetryAfter:   *retryAfter,
+		CacheBytes:   *cacheMB << 20,
+		DisableCache: *noCache,
 	})
 	for _, fam := range splitList(*preload) {
 		info, err := srv.GenerateInstance("", fam, workload.Params{N: *n, K: *k, MaxW: *maxw, Seed: *seed})

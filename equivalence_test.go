@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	steinerforest "steinerforest"
+	"steinerforest/internal/congest"
 	"steinerforest/internal/workload"
 )
 
@@ -27,6 +28,10 @@ func TestFastPathEquivalence(t *testing.T) {
 			t.Fatalf("%s: %v", fam, err)
 		}
 		ins := gen.Instance
+		// One arena pool per family: the pooled variants below reuse warm
+		// engine tables across variants AND across algorithms on the same
+		// graph, which is exactly the serving access pattern.
+		pool := congest.NewArenaPool()
 		for _, algo := range algos {
 			t.Run(fam+"/"+algo, func(t *testing.T) {
 				base := steinerforest.Spec{Algorithm: algo, Seed: 7, NoCertificate: true}
@@ -39,18 +44,25 @@ func TestFastPathEquivalence(t *testing.T) {
 					par    int
 					legacy bool
 					noWin  bool
+					pooled bool
 				}{
-					{false, 1, false, false}, {false, 8, false, false}, // continuation × par
-					{false, 1, false, true}, {false, 8, false, true}, // window relay per-round
-					{true, 1, false, false}, {true, 8, false, false}, // continuation, fast off
-					{false, 1, true, false}, {false, 8, true, false}, // goroutines, fast on
-					{true, 8, true, false},
+					{false, 1, false, false, false}, {false, 8, false, false, false}, // continuation × par
+					{false, 1, false, true, false}, {false, 8, false, true, false}, // window relay per-round
+					{true, 1, false, false, false}, {true, 8, false, false, false}, // continuation, fast off
+					{false, 1, true, false, false}, {false, 8, true, false, false}, // goroutines, fast on
+					{true, 8, true, false, false},
+					{false, 1, false, false, true}, {false, 8, false, false, true}, // warm arena pool × par
+					{true, 1, false, false, true}, // warm arena pool, fast off
 				} {
-					res, err := steinerforest.Solve(ins, withKnobs(base, v.noFast, v.par, v.legacy, v.noWin))
-					if err != nil {
-						t.Fatalf("noFast=%v par=%d legacy=%v noWin=%v: %v", v.noFast, v.par, v.legacy, v.noWin, err)
+					spec := withKnobs(base, v.noFast, v.par, v.legacy, v.noWin)
+					if v.pooled {
+						spec.Arena = pool
 					}
-					name := fmt.Sprintf("noFast=%v par=%d legacy=%v noWin=%v", v.noFast, v.par, v.legacy, v.noWin)
+					res, err := steinerforest.Solve(ins, spec)
+					if err != nil {
+						t.Fatalf("noFast=%v par=%d legacy=%v noWin=%v pooled=%v: %v", v.noFast, v.par, v.legacy, v.noWin, v.pooled, err)
+					}
+					name := fmt.Sprintf("noFast=%v par=%d legacy=%v noWin=%v pooled=%v", v.noFast, v.par, v.legacy, v.noWin, v.pooled)
 					if a, b := ref.Stats, res.Stats; a.Rounds != b.Rounds ||
 						a.Messages != b.Messages || a.Bits != b.Bits ||
 						a.MaxMessageBits != b.MaxMessageBits ||
@@ -71,6 +83,9 @@ func TestFastPathEquivalence(t *testing.T) {
 					}
 				}
 			})
+		}
+		if ps := pool.Stats(); ps.WarmGets == 0 {
+			t.Errorf("%s: arena pool never reused a warm arena across the pooled variants (stats %+v)", fam, ps)
 		}
 	}
 }

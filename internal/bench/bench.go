@@ -93,9 +93,10 @@ func pairInstance(rng *rand.Rand, n, k int, maxW int64, p float64) *steiner.Inst
 	return ins
 }
 
-func f(x float64) string { return fmt.Sprintf("%.2f", x) }
-func d(x int) string     { return fmt.Sprintf("%d", x) }
-func d64(x int64) string { return fmt.Sprintf("%d", x) }
+func f(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }
+func d64(x int64) string  { return fmt.Sprintf("%d", x) }
 
 // ratio is the certified approximation ratio of a pipeline result.
 func ratio(res *steinerforest.Result) float64 {
@@ -490,7 +491,7 @@ var Index = []Experiment{
 	{"t1", T1}, {"t1b", T1b}, {"t2", T2}, {"t3", T3}, {"t4", T4},
 	{"t5", T5}, {"t6", T6}, {"f1", F1}, {"a1", A1}, {"e1", E1},
 	{"b1", B1}, {"e2", E2}, {"e3", E3}, {"e4", E4}, {"e5", E5},
-	{"s1", S1},
+	{"s1", S1}, {"s2", S2},
 }
 
 // All returns every experiment in index order.

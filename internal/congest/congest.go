@@ -61,6 +61,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"steinerforest/internal/graph"
 )
@@ -137,6 +138,7 @@ type options struct {
 	noFastPath  bool
 	goroutines  bool
 	noWindow    bool
+	pool        *ArenaPool
 }
 
 // Option configures Run.
@@ -895,41 +897,47 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 		n:         n,
 		o:         o,
 		stats:     stats,
-		hosts:     make([]Host, n),
 		coro:      coro,
-		mode:      make([]nodeMode, n),
-		parkStamp: make([]uint32, n),
-		wakeAt:    make([]int, n),
 		runnable:  n,
 		live:      n,
-		subs:      make([]submission, n),
 		shardSubs: make([][]int32, p),
 		woken:     make([][]int32, p),
-		touchN:    make([]int32, n),
-		tGen:      make([]uint32, n),
-		gen:       1,
 		window:    !o.noWindow && !o.noFastPath,
-		winStamp:  make([]uint32, n),
-		shardOf:   make([]int32, n),
 		buckets:   make([][]routed, p),
 	}
 	// The engine's per-port tables are flat arenas over the graph's CSR
 	// offsets; the standing/relay order tables are allocated lazily, on the
-	// first protocol that parks a node that way.
+	// first protocol that parks a node that way. With WithArenaPool the
+	// whole arena is recycled across runs (reset by generation bump, not
+	// reallocation) — except on the legacy goroutine transport, whose
+	// aborted node goroutines can outlive Run and must never see their
+	// Host blocks handed to a later run.
 	base := g.Offsets()
 	e.base = base
 	P := int(base[n])
-	e.sentGen = make([]uint32, P)
-	e.slots = make([]Recv, P)
-	e.slotGen = make([]uint32, P)
-	e.touchBuf = make([]int32, P)
-	e.outArena = make([]Recv, P)
-	e.returnPort = make([]int32, P)
+	setupStart := time.Now()
+	pool := o.pool
+	if !coro {
+		pool = nil
+	}
+	var ar *arena
+	warmArena := false
+	if pool != nil {
+		ar, warmArena = pool.get(n, P)
+		defer func() {
+			ar.detach(e)
+			pool.put(ar)
+		}()
+	} else {
+		ar = newArena(n, P)
+	}
+	if coro && ar.next == nil {
+		ar.next = make([]func() (submission, bool), n)
+		ar.stopFn = make([]func(), n)
+	}
+	ar.attach(e)
 	if coro {
-		e.next = make([]func() (submission, bool), n)
-		e.stopFn = make([]func(), n)
 		e.pend = make([][]submission, p)
-		e.collected = make([]submission, 0, n)
 		// Belt and braces: release any still-suspended continuation on the
 		// way out (normal exits and fails have already done so; this keeps
 		// an engine bug from leaking parked coroutine stacks). Joins any
@@ -947,27 +955,36 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	// Precompute the return-port table: for the edge at (v, port), the port
 	// of the far endpoint that leads back to v. One pass over all halves,
 	// pairing the two sides of each edge by its index, replaces the
-	// per-delivered-message binary search of PortOf.
-	firstHalf := make([]int64, g.M()) // packed (node<<32 | port) + 1; 0 = unseen
-	for v := 0; v < n; v++ {
-		for q, hf := range g.Neighbors(v) {
-			if fh := firstHalf[hf.Index]; fh == 0 {
-				firstHalf[hf.Index] = (int64(v)<<32 | int64(q)) + 1
-			} else {
-				fv, fq := int((fh-1)>>32), int32((fh-1)&0xFFFFFFFF)
-				e.returnPort[base[v]+int32(q)] = fq
-				e.returnPort[base[fv]+fq] = int32(q)
+	// per-delivered-message binary search of PortOf. The table depends only
+	// on the frozen graph, so a warm arena that last ran on the same CSR
+	// offsets (slice identity) skips the pass entirely.
+	if len(ar.base) != len(base) || &ar.base[0] != &base[0] {
+		firstHalf := make([]int64, g.M()) // packed (node<<32 | port) + 1; 0 = unseen
+		for v := 0; v < n; v++ {
+			for q, hf := range g.Neighbors(v) {
+				if fh := firstHalf[hf.Index]; fh == 0 {
+					firstHalf[hf.Index] = (int64(v)<<32 | int64(q)) + 1
+				} else {
+					fv, fq := int((fh-1)>>32), int32((fh-1)&0xFFFFFFFF)
+					e.returnPort[base[v]+int32(q)] = fq
+					e.returnPort[base[fv]+fq] = int32(q)
+				}
 			}
 		}
+		ar.base = base
 	}
 	for v := 0; v < n; v++ {
 		h := &e.hosts[v]
-		h.id = v
-		h.n = n
-		h.ports = g.Neighbors(v)
-		h.rngSeed = o.seed + int64(v)*0x9E3779B9
-		h.fast = !o.noFastPath
-		h.coro = coro
+		// Full struct reset: on a warm arena the block still carries the
+		// previous run's rng, round counter, and continuation hooks.
+		*h = Host{
+			id:      v,
+			n:       n,
+			ports:   g.Neighbors(v),
+			rngSeed: o.seed + int64(v)*0x9E3779B9,
+			fast:    !o.noFastPath,
+			coro:    coro,
+		}
 		if coro {
 			e.next[v], e.stopFn[v] = iter.Pull(nodeSeq(h, program))
 		} else {
@@ -994,6 +1011,9 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 				close(e.start[w])
 			}
 		}()
+	}
+	if pool != nil {
+		pool.recordSetup(warmArena, int64(time.Since(setupStart)))
 	}
 
 	fail := func(err error) (*Stats, error) {

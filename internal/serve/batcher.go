@@ -28,6 +28,13 @@ type job struct {
 	key      batchKey
 	admitted time.Time
 	done     chan jobResult // buffered(1): dispatch never blocks on a gone client
+
+	// Singleflight bookkeeping, set when the request leads a flight: the
+	// dispatcher resolves the flight (caching the result and releasing
+	// every collapsed follower) even if the leader's client is gone.
+	cache    *solveCache
+	cacheKey steinerforest.Spec
+	flight   *flight
 }
 
 // admitOutcome distinguishes the three admission answers.
@@ -157,5 +164,12 @@ func (s *Server) dispatch(batch []*job) {
 
 func (s *Server) finish(j *job, r jobResult) {
 	s.metrics.recordDone(time.Since(j.admitted), r.err != nil)
+	if j.flight != nil {
+		outcome := flightSolved
+		if r.err != nil {
+			outcome = flightError
+		}
+		j.cache.complete(j.cacheKey, j.flight, outcome, r.res, r.err, r.batch)
+	}
 	j.done <- r
 }

@@ -64,8 +64,9 @@ type SolveResponse struct {
 	Rounds     int     `json:"rounds,omitempty"`
 	Messages   int64   `json:"messages,omitempty"`
 	Bits       int64   `json:"bits,omitempty"`
-	Batch      int     `json:"batch"`      // size of the batch this request rode in
-	ElapsedMS  float64 `json:"elapsed_ms"` // admission to completion, server-side
+	Batch      int     `json:"batch"`            // size of the batch this request rode in (0 = cache hit)
+	Cached     bool    `json:"cached,omitempty"` // answered from the result cache, no solver run
+	ElapsedMS  float64 `json:"elapsed_ms"`       // admission to completion, server-side
 }
 
 // GenerateRequest is the POST /instances body: generate a workload-family
@@ -121,6 +122,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -140,32 +142,68 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	algo := spec.Algorithm
-	if algo == "" {
-		algo = "det"
+	// The canonical spec is both the cache key and what actually gets
+	// solved: Canonical only folds knobs the equivalence suite pins as
+	// result-neutral, so every observationally-identical request shares
+	// one cache slot, one singleflight, and one batch-compatible key.
+	canon := spec.Canonical()
+	if !slices.Contains(steinerforest.Algorithms(), canon.Algorithm) {
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q (registered: %v)", canon.Algorithm, steinerforest.Algorithms())
+		return
 	}
-	if !slices.Contains(steinerforest.Algorithms(), algo) {
-		writeError(w, http.StatusBadRequest, "unknown algorithm %q (registered: %v)", algo, steinerforest.Algorithms())
+	// Hits and collapsed followers bypass admission entirely, so the
+	// draining check must come first: after Shutdown even a cached answer
+	// is refused, matching the admission path's contract.
+	if s.Draining() {
+		s.metrics.incDrained()
+		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 
+	var fl *flight
+	if e.cache != nil {
+		res, found, leader := e.cache.lookup(canon)
+		switch {
+		case res != nil:
+			s.metrics.incHit()
+			s.metrics.recordDone(time.Since(start), false)
+			s.writeSolveResult(w, req.Instance, res, 0, true, start)
+			return
+		case !leader:
+			// Collapse onto the identical in-flight miss: wait for its
+			// leader to resolve the flight, consuming no queue depth.
+			s.metrics.incCollapsed()
+			s.waitFlight(w, r, req.Instance, found, start)
+			return
+		default:
+			s.metrics.incMiss()
+			fl = found
+		}
+	}
+
+	solveSpec := canon
+	solveSpec.Arena = e.pool
 	j := &job{
 		ins:      e.ins,
-		spec:     spec,
-		key:      batchKey{algorithm: algo, noCert: spec.NoCertificate, parallelism: spec.Parallelism},
-		admitted: time.Now(),
+		spec:     solveSpec,
+		key:      batchKey{algorithm: canon.Algorithm, noCert: canon.NoCertificate, parallelism: canon.Parallelism},
+		admitted: start,
 		done:     make(chan jobResult, 1),
+	}
+	if fl != nil {
+		j.cache, j.cacheKey, j.flight = e.cache, canon, fl
 	}
 	switch s.admit(j) {
 	case admitFull:
-		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
+		if fl != nil {
+			e.cache.complete(canon, fl, flightRejected, nil, nil, 0)
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, "admission queue full (depth %d); retry after %ds", s.cfg.QueueDepth, secs)
+		s.writeRejected(w)
 		return
 	case admitDraining:
+		if fl != nil {
+			e.cache.complete(canon, fl, flightDrained, nil, nil, 0)
+		}
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
@@ -176,25 +214,64 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "%v", out.err)
 			return
 		}
-		res := out.res
-		resp := SolveResponse{
-			Instance: req.Instance, Algorithm: res.Algorithm,
-			Weight: res.Weight, Edges: res.Solution.Size(),
-			LowerBound: res.LowerBound, Certified: res.Certified,
-			Batch:     out.batch,
-			ElapsedMS: float64(time.Since(j.admitted).Microseconds()) / 1000.0,
-		}
-		if res.Stats != nil {
-			resp.Rounds = res.Stats.Rounds
-			resp.Messages = res.Stats.Messages
-			resp.Bits = res.Stats.Bits
-		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writeSolveResult(w, req.Instance, out.res, out.batch, false, start)
 	case <-r.Context().Done():
 		// Client gone; the buffered done channel lets the dispatcher
-		// finish the slot without blocking.
+		// finish the slot (and resolve the flight) without blocking.
 		writeError(w, http.StatusServiceUnavailable, "client cancelled")
 	}
+}
+
+// waitFlight answers a collapsed follower once its leader's flight
+// resolves, mirroring whatever outcome the leader got — including 429/503
+// when the leader's admission was refused (the follower arrived during
+// the same overload and never held queue depth of its own).
+func (s *Server) waitFlight(w http.ResponseWriter, r *http.Request, instance string, fl *flight, start time.Time) {
+	select {
+	case <-fl.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "client cancelled")
+		return
+	}
+	switch fl.outcome {
+	case flightSolved:
+		s.metrics.recordDone(time.Since(start), false)
+		s.writeSolveResult(w, instance, fl.res, fl.batch, false, start)
+	case flightError:
+		s.metrics.recordDone(time.Since(start), true)
+		writeError(w, http.StatusInternalServerError, "%v", fl.err)
+	case flightRejected:
+		s.metrics.incRejected()
+		s.writeRejected(w)
+	case flightDrained:
+		s.metrics.incDrained()
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+	}
+}
+
+func (s *Server) writeRejected(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "admission queue full (depth %d); retry after %ds", s.cfg.QueueDepth, secs)
+}
+
+func (s *Server) writeSolveResult(w http.ResponseWriter, instance string, res *steinerforest.Result, batch int, cached bool, start time.Time) {
+	resp := SolveResponse{
+		Instance: instance, Algorithm: res.Algorithm,
+		Weight: res.Weight, Edges: res.Solution.Size(),
+		LowerBound: res.LowerBound, Certified: res.Certified,
+		Batch: batch, Cached: cached,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000.0,
+	}
+	if res.Stats != nil {
+		resp.Rounds = res.Stats.Rounds
+		resp.Messages = res.Stats.Messages
+		resp.Bits = res.Stats.Bits
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {

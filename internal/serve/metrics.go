@@ -3,6 +3,7 @@ package serve
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,25 @@ type Stats struct {
 	Drained   uint64 `json:"drained"`   // 503: draining at admission time
 	Completed uint64 `json:"completed"` // solved and answered
 	Errors    uint64 `json:"errors"`    // failed in the solver
+
+	// Result cache: hits answer without touching the queue, misses start
+	// a solver run, collapsed requests attached to an identical in-flight
+	// miss (singleflight). The byte/entry/eviction gauges aggregate the
+	// per-instance caches.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	Collapsed      uint64 `json:"collapsed"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheEntries   int    `json:"cache_entries"`
+
+	// Warm engine arenas: solver runs that reused a pooled arena vs
+	// allocated cold, with the mean engine-setup ns on each side
+	// (aggregated over the per-instance pools; not cleared by reset).
+	ArenaWarm        uint64 `json:"arena_warm"`
+	ArenaCold        uint64 `json:"arena_cold"`
+	ArenaWarmSetupNs int64  `json:"arena_warm_setup_ns"`
+	ArenaColdSetupNs int64  `json:"arena_cold_setup_ns"`
 
 	// Live gauges.
 	QueueDepth int `json:"queue_depth"` // requests admitted but not yet dispatched
@@ -39,22 +59,27 @@ type Stats struct {
 }
 
 // metrics aggregates the server's counters and latency samples. The
-// latency reservoir keeps every completed sample (bounded by capSamples
-// with random-free decimation: once full, every second sample is kept),
-// so quantiles are exact under benchmark-scale load and still sane under
-// long-lived service load.
+// counters are plain atomics — per-request increments never contend on a
+// lock — and the mutex guards only the latency reservoir (which keeps
+// every completed sample, bounded by capSamples with random-free
+// decimation: once full, every second sample is kept, so quantiles are
+// exact under benchmark-scale load and still sane under long-lived
+// service load).
 type metrics struct {
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	drained     atomic.Uint64
+	completed   atomic.Uint64
+	errors      atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	collapsed   atomic.Uint64
+
+	batches     atomic.Uint64
+	batchedReqs atomic.Uint64
+	maxBatchLen atomic.Int64
+
 	mu        sync.Mutex
-	accepted  uint64
-	rejected  uint64
-	drained   uint64
-	completed uint64
-	errors    uint64
-
-	batches     uint64
-	batchedReqs uint64
-	maxBatchLen int
-
 	latencies []float64 // ms, completed requests only
 	stride    int       // keep every stride-th sample (decimation)
 	skip      int
@@ -70,39 +95,53 @@ func newMetrics() *metrics {
 // reset clears counters and samples (the load harness calls this after
 // its warm-up phase so measured quantiles exclude warm-up requests).
 func (m *metrics) reset() {
+	m.accepted.Store(0)
+	m.rejected.Store(0)
+	m.drained.Store(0)
+	m.completed.Store(0)
+	m.errors.Store(0)
+	m.cacheHits.Store(0)
+	m.cacheMisses.Store(0)
+	m.collapsed.Store(0)
+	m.batches.Store(0)
+	m.batchedReqs.Store(0)
+	m.maxBatchLen.Store(0)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.accepted, m.rejected, m.drained, m.completed, m.errors = 0, 0, 0, 0, 0
-	m.batches, m.batchedReqs, m.maxBatchLen = 0, 0, 0
 	m.latencies = m.latencies[:0]
 	m.stride, m.skip = 1, 0
 	m.start = time.Now()
+	m.mu.Unlock()
 }
 
-func (m *metrics) incAccepted() { m.mu.Lock(); m.accepted++; m.mu.Unlock() }
-func (m *metrics) incRejected() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) incDrained()  { m.mu.Lock(); m.drained++; m.mu.Unlock() }
+func (m *metrics) incAccepted()  { m.accepted.Add(1) }
+func (m *metrics) incRejected()  { m.rejected.Add(1) }
+func (m *metrics) incDrained()   { m.drained.Add(1) }
+func (m *metrics) incHit()       { m.cacheHits.Add(1) }
+func (m *metrics) incMiss()      { m.cacheMisses.Add(1) }
+func (m *metrics) incCollapsed() { m.collapsed.Add(1) }
 
 func (m *metrics) recordBatch(size int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.batches++
-	m.batchedReqs += uint64(size)
-	if size > m.maxBatchLen {
-		m.maxBatchLen = size
+	m.batches.Add(1)
+	m.batchedReqs.Add(uint64(size))
+	for {
+		cur := m.maxBatchLen.Load()
+		if int64(size) <= cur || m.maxBatchLen.CompareAndSwap(cur, int64(size)) {
+			return
+		}
 	}
 }
 
 // recordDone records one finished request: its latency when it succeeded,
-// an error count otherwise.
+// an error count otherwise. Cache hits and collapsed followers report
+// through here too, so Completed matches the client-observed OK count.
 func (m *metrics) recordDone(latency time.Duration, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if failed {
-		m.errors++
+		m.errors.Add(1)
 		return
 	}
-	m.completed++
+	m.completed.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.skip++
 	if m.skip < m.stride {
 		return
@@ -131,29 +170,34 @@ func quantile(sorted []float64, q float64) float64 {
 }
 
 // snapshot renders the current Stats; queueDepth and inFlight are read
-// from the server's live gauges by the caller.
+// from the server's live gauges by the caller, and the per-instance
+// cache/arena gauges are filled in by Server.Statsz.
 func (m *metrics) snapshot(queueDepth, inFlight int) Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	sorted := append([]float64(nil), m.latencies...)
+	start := m.start
+	m.mu.Unlock()
 	sort.Float64s(sorted)
-	up := time.Since(m.start).Seconds()
+	up := time.Since(start).Seconds()
+	completed := m.completed.Load()
+	batches, batchedReqs := m.batches.Load(), m.batchedReqs.Load()
 	s := Stats{
-		Accepted: m.accepted, Rejected: m.rejected, Drained: m.drained,
-		Completed: m.completed, Errors: m.errors,
+		Accepted: m.accepted.Load(), Rejected: m.rejected.Load(), Drained: m.drained.Load(),
+		Completed: completed, Errors: m.errors.Load(),
+		CacheHits: m.cacheHits.Load(), CacheMisses: m.cacheMisses.Load(), Collapsed: m.collapsed.Load(),
 		QueueDepth: queueDepth, InFlight: inFlight,
-		Batches: m.batches, BatchedReqs: m.batchedReqs, MaxBatchLen: m.maxBatchLen,
+		Batches: batches, BatchedReqs: batchedReqs, MaxBatchLen: int(m.maxBatchLen.Load()),
 		P50ms: quantile(sorted, 0.50), P99ms: quantile(sorted, 0.99),
 		UptimeSec: up,
 	}
 	if len(sorted) > 0 {
 		s.MaxMs = sorted[len(sorted)-1]
 	}
-	if m.batches > 0 {
-		s.MeanBatch = float64(m.batchedReqs) / float64(m.batches)
+	if batches > 0 {
+		s.MeanBatch = float64(batchedReqs) / float64(batches)
 	}
 	if up > 0 {
-		s.PerSec = float64(m.completed) / up
+		s.PerSec = float64(completed) / up
 	}
 	return s
 }

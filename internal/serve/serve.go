@@ -21,6 +21,7 @@ import (
 	"time"
 
 	steinerforest "steinerforest"
+	"steinerforest/internal/congest"
 	"steinerforest/internal/steiner"
 	"steinerforest/internal/workload"
 )
@@ -50,6 +51,18 @@ type Config struct {
 	// RetryAfter is the hint returned with 429 responses, rounded up to
 	// whole seconds (default 1s).
 	RetryAfter time.Duration
+
+	// CacheBytes budgets each resident instance's result cache (default
+	// 64 MiB per instance). Identical requests — after Spec.Canonical
+	// folds the result-neutral knobs — are answered from the cache
+	// without consuming queue depth, and concurrent identical misses
+	// collapse onto one solver run (singleflight).
+	CacheBytes int64
+
+	// DisableCache turns the result cache and singleflight off: every
+	// request is admitted and solved individually, as before PR 8. The
+	// warm arena pools stay on either way (they are invisible in results).
+	DisableCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +81,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
 	return c
 }
 
@@ -82,8 +98,10 @@ type InstanceInfo struct {
 }
 
 type entry struct {
-	info InstanceInfo
-	ins  *steiner.Instance
+	info  InstanceInfo
+	ins   *steiner.Instance
+	cache *solveCache        // nil when Config.DisableCache
+	pool  *congest.ArenaPool // warm engine arenas for this instance's CSR shape
 }
 
 // Server is the solver service. Create with New, expose with Handler,
@@ -145,12 +163,16 @@ func (s *Server) RegisterInstance(name string, ins *steiner.Instance, family str
 		Name: name, Nodes: ins.G.N(), Edges: ins.G.M(),
 		K: ins.NumComponents(), Terminals: ins.NumTerminals(), Family: family,
 	}
+	e := &entry{info: info, ins: ins, pool: congest.NewArenaPool()}
+	if !s.cfg.DisableCache {
+		e.cache = newSolveCache(s.cfg.CacheBytes)
+	}
 	s.instMu.Lock()
 	defer s.instMu.Unlock()
 	if _, dup := s.instances[name]; dup {
 		return fmt.Errorf("serve: instance %q already resident", name)
 	}
-	s.instances[name] = &entry{info: info, ins: ins}
+	s.instances[name] = e
 	return nil
 }
 
@@ -191,12 +213,37 @@ func (s *Server) Instances() []InstanceInfo {
 	return infos
 }
 
-// Statsz snapshots the metrics (the /statsz payload).
+// Statsz snapshots the metrics (the /statsz payload). The cache and
+// arena gauges aggregate over every resident instance.
 func (s *Server) Statsz() Stats {
 	s.inFlightMu.Lock()
 	inFlight := s.inFlight
 	s.inFlightMu.Unlock()
-	return s.metrics.snapshot(len(s.queue), inFlight)
+	st := s.metrics.snapshot(len(s.queue), inFlight)
+	s.instMu.RLock()
+	var warm, cold congest.ArenaPoolStats
+	for _, e := range s.instances {
+		if e.cache != nil {
+			bytes, entries, evictions := e.cache.usage()
+			st.CacheBytes += bytes
+			st.CacheEntries += entries
+			st.CacheEvictions += evictions
+		}
+		ps := e.pool.Stats()
+		warm.WarmGets += ps.WarmGets
+		warm.WarmSetupNs += ps.WarmSetupNs
+		cold.ColdGets += ps.ColdGets
+		cold.ColdSetupNs += ps.ColdSetupNs
+	}
+	s.instMu.RUnlock()
+	st.ArenaWarm, st.ArenaCold = warm.WarmGets, cold.ColdGets
+	if warm.WarmGets > 0 {
+		st.ArenaWarmSetupNs = warm.WarmSetupNs / int64(warm.WarmGets)
+	}
+	if cold.ColdGets > 0 {
+		st.ArenaColdSetupNs = cold.ColdSetupNs / int64(cold.ColdGets)
+	}
+	return st
 }
 
 // ResetMetrics clears counters and latency samples; the load harness

@@ -71,9 +71,12 @@ func TestOverflowReturns429WithoutBlocking(t *testing.T) {
 	// after release only the first signal has a reader.
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
+	// DisableCache: the three requests are identical, and with the result
+	// cache on they would collapse onto one flight instead of exercising
+	// the queue. This test pins the raw admission contract.
 	srv, ts := newTestServer(t, Config{
 		QueueDepth: 1, MaxBatch: 1, BatchWindow: -1, Workers: 1,
-		RetryAfter: 3 * time.Second,
+		RetryAfter: 3 * time.Second, DisableCache: true,
 	})
 	// Stall the solver so the first request occupies the dispatcher and
 	// the second stays queued. Fabricated results keep the handler path

@@ -77,6 +77,15 @@ type Spec struct {
 	// Result.LowerBound — useful for large perf sweeps where the oracle
 	// would dominate the runtime.
 	NoCertificate bool
+
+	// Arena, when non-nil, lets the simulator recycle its flat scheduler
+	// tables from this pool instead of reallocating them per run — the
+	// warm-engine path for callers that solve the same resident instance
+	// repeatedly (serve mode holds one pool per instance). Results are
+	// bit-identical with or without a pool (the equivalence tests pin
+	// this), so Canonical treats the field as result-neutral. The pointer
+	// keeps Spec comparable.
+	Arena *congest.ArenaPool
 }
 
 // Validate rejects Spec values no solver can act on, with errors precise
@@ -102,6 +111,65 @@ func (s Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// builtinAlgorithms names the solvers registered by this package itself.
+// Canonical only folds knobs whose neutrality it can vouch for, which is
+// exactly these: external registrations may interpret Spec fields however
+// they like.
+var builtinAlgorithms = map[string]bool{
+	"det": true, "rounded": true, "rand": true,
+	"trunc": true, "khan": true, "central": true,
+}
+
+// Canonical returns the spec's canonical form: the representative every
+// observationally-identical spec maps to, which is what makes Specs usable
+// as result-cache keys. Normalizations applied:
+//
+//   - defaults made explicit: Algorithm "" → "det", Seed 0 → 1, and the
+//     rounded solver's epsilon 0/0 → 1/2;
+//   - Truncate folded into the algorithm name ("rand"+Truncate ≡ "trunc";
+//     every other builtin ignores the flag);
+//   - epsilon zeroed for builtins other than "rounded" (they never read it);
+//   - the result-neutral scheduler knobs folded out: Parallelism,
+//     NoFastPath, NoWindowRelay, and LegacyScheduler change how the
+//     simulator schedules work, never what it computes — the equivalence
+//     suite pins Stats, forests, and per-node traces bit-identical across
+//     all of them — and Arena only recycles allocations.
+//
+// Result-determining fields are untouched: Algorithm, Seed, epsilon (for
+// "rounded"), Bandwidth, MaxRounds, EdgeTracking, and NoCertificate all
+// stay distinguishing. Two specs with equal Canonical() values yield
+// bit-identical Solve results; specs with differing results always map to
+// differing canonical values. Non-builtin algorithms only get the
+// scheduler-knob folding, on the strength of the Spec field contracts.
+func (s Spec) Canonical() Spec {
+	c := s
+	if c.Algorithm == "" {
+		c.Algorithm = "det"
+	}
+	if c.Algorithm == "rand" && c.Truncate {
+		c.Algorithm = "trunc"
+	}
+	if builtinAlgorithms[c.Algorithm] {
+		c.Truncate = false
+		if c.Algorithm == "rounded" {
+			if c.EpsNum == 0 && c.EpsDen == 0 {
+				c.EpsNum, c.EpsDen = 1, 2
+			}
+		} else {
+			c.EpsNum, c.EpsDen = 0, 0
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Parallelism = 0
+	c.NoFastPath = false
+	c.NoWindowRelay = false
+	c.LegacyScheduler = false
+	c.Arena = nil
+	return c
 }
 
 // options translates the Spec into simulator options.
@@ -130,6 +198,9 @@ func (s Spec) options() []congest.Option {
 	}
 	if s.LegacyScheduler {
 		opts = append(opts, congest.WithGoroutines(true))
+	}
+	if s.Arena != nil {
+		opts = append(opts, congest.WithArenaPool(s.Arena))
 	}
 	return opts
 }
