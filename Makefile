@@ -61,7 +61,7 @@ baseline:
 	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
 
 snapshot:
-	$(GO) run ./cmd/dsfbench -json > BENCH_pr8.json
+	$(GO) run ./cmd/dsfbench -json > BENCH_pr9.json
 
 # Short-mode run of the scheduler experiments: asserts the fast paths
 # (E2) and the continuation scheduler (E3) stay bit-identical to their
@@ -72,6 +72,7 @@ bench-smoke:
 	$(GO) run ./cmd/dsfbench -quick -table e5 -json -memprofile bench-e5-heap.pprof >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table s1 -json >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table s2 -json >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table d1 -json >/dev/null
 
 # Gate perf changes against the committed snapshots: the correctness
 # columns (rounds, weights, ratios, feasibility) must match exactly; the
@@ -88,11 +89,11 @@ bench-smoke:
 # nonzero child exit to 1 and the 3-vs-1 distinction would be lost.
 bench-compare:
 	@$(GO) build -o bench-gate.bin ./cmd/dsfbench; \
-	./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr8.json; \
+	./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr9.json; \
 	status=$$?; \
 	if [ $$status -eq 3 ]; then \
 		echo "bench-compare: timing-only regression (correctness cells clean); retrying once"; \
-		./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr8.json; \
+		./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr9.json; \
 		status=$$?; \
 	fi; \
 	rm -f bench-gate.bin; \

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	steinerforest "steinerforest"
 	"steinerforest/internal/bench"
 )
 
@@ -56,6 +57,7 @@ func run() int {
 	tolerance := flag.Float64("tolerance", 10, "with -compare: max per-table elapsed_ms regression, in percent")
 	memTolerance := flag.Float64("memtolerance", 25, "with -compare: max peak-RSS column growth, in percent")
 	report := flag.String("report", "", "with -compare: also write the report to this file (for CI artifacts)")
+	policy := flag.String("policy", "", "restrict the D1 dynamic-demand table to one policy: "+steinerforest.PolicyUsage())
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
@@ -69,6 +71,15 @@ func run() int {
 	}
 	bench.Large = *large
 	bench.Huge = *huge
+	if *policy != "" {
+		// Parse eagerly so a typo fails with the registry's options list
+		// instead of a failed D1 row.
+		if _, err := steinerforest.ParsePolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfbench: bad -policy:", err)
+			return 2
+		}
+		bench.PolicyFilter = *policy
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -8,6 +8,8 @@
 //
 //	dsfrun [-n 40] [-k 3] [-maxw 64] [-seed 1] [-algo det] [-eps 1/2]
 //	       [-parallel 1] [-nocert] [-gen family] [-in file] [-out file]
+//	dsfrun -timeline family [-events 24] [-policy full] [-tlout file]
+//	dsfrun -tlin file [-policy repair]
 //
 // -algo accepts any registered solver (det, rounded, rand, trunc, khan,
 // central); -gen any registered workload family (geometric, ba,
@@ -15,6 +17,13 @@
 // file (format sniffed from the content); -out writes the instance that
 // was solved (format chosen by extension: .json is JSON, anything else
 // the DIMACS-gr-style text form), so instances round-trip through files.
+//
+// Timeline mode (-timeline or -tlin) solves a dynamic demand stream
+// instead of one static instance: pairs arrive and depart over a fixed
+// graph, and the -policy (full|repair|every-k:<k>, shared with dsfserve
+// and dsfbench) decides how much re-solving each event pays for. The
+// per-event table reports rounds/messages and the standing forest's
+// weight; -tlout round-trips the generated timeline through a file.
 package main
 
 import (
@@ -56,6 +65,12 @@ func main() {
 		"generate from this workload family: one of "+strings.Join(workload.Names(), ", "))
 	in := flag.String("in", "", "read the instance from this file instead of generating")
 	out := flag.String("out", "", "write the solved instance to this file")
+	timeline := flag.String("timeline", "",
+		"solve a dynamic demand timeline from this family: one of "+strings.Join(workload.TimelineNames(), ", "))
+	tlin := flag.String("tlin", "", "read a timeline from this file instead of generating")
+	tlout := flag.String("tlout", "", "write the generated timeline to this file")
+	events := flag.Int("events", 24, "timeline events to generate for -timeline")
+	policyFlag := flag.String("policy", "full", "re-solve policy for timeline mode: "+steinerforest.PolicyUsage())
 	flag.Parse()
 
 	spec := steinerforest.Spec{
@@ -73,6 +88,14 @@ func main() {
 		os.Exit(2)
 	}
 	spec.EpsNum, spec.EpsDen = num, den
+
+	if *timeline != "" || *tlin != "" {
+		runTimeline(spec, *timeline, *tlin, *tlout, *policyFlag, workload.TimelineParams{
+			Params: workload.Params{N: *n, K: *k, MaxW: *maxw, Seed: *seed},
+			Events: *events,
+		})
+		return
+	}
 
 	var ins *steinerforest.Instance
 	switch {
@@ -149,4 +172,84 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("solution verified feasible")
+}
+
+// runTimeline is dsfrun's dynamic-demand mode: generate or load a
+// timeline, drive the chosen policy down it, and print the per-event
+// cost table.
+func runTimeline(spec steinerforest.Spec, family, tlin, tlout, policyName string, p workload.TimelineParams) {
+	pol, err := steinerforest.ParsePolicy(policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsfrun: bad -policy:", err)
+		os.Exit(2)
+	}
+
+	var tl *workload.Timeline
+	switch {
+	case tlin != "" && family != "":
+		fmt.Fprintln(os.Stderr, "dsfrun: -tlin and -timeline are mutually exclusive")
+		os.Exit(2)
+	case tlin != "":
+		tl, err = workload.ReadTimelineFile(tlin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s: n=%d m=%d initial=%d events=%d\n",
+			tlin, tl.G.N(), tl.G.M(), len(tl.Initial), len(tl.Events))
+	default:
+		gen, err := workload.GenerateTimeline(family, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsfrun:", err)
+			os.Exit(1)
+		}
+		tl = gen.Timeline
+		fmt.Printf("generated %s: n=%d m=%d initial=%d events=%d\n",
+			family, tl.G.N(), tl.G.M(), len(tl.Initial), len(tl.Events))
+		if gen.Planted != nil {
+			fmt.Printf("planted forest: %d edges, weight %d (OPT upper bound at every prefix)\n",
+				gen.Planted.Size(), gen.PlantedWeight)
+		}
+	}
+	if tlout != "" {
+		if err := workload.WriteTimelineFile(tlout, tl); err != nil {
+			fmt.Fprintln(os.Stderr, "dsfrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote timeline to %s\n", tlout)
+	}
+
+	tr, err := steinerforest.SolveTimeline(tl, spec, pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsfrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\npolicy %s over %d events\n", tr.Policy, len(tr.Events))
+	if tr.Bootstrap != nil {
+		fmt.Printf("bootstrap: weight %d", tr.Bootstrap.Weight)
+		if tr.Bootstrap.Stats != nil {
+			fmt.Printf(", %d rounds, %d messages", tr.Bootstrap.Stats.Rounds, tr.Bootstrap.Stats.Messages)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-4s %-3s %6s %6s %10s %12s %8s\n", "ev", "op", "u", "v", "rounds", "messages", "weight")
+	for i, er := range tr.Events {
+		kind := "    " // free (no solver run)
+		switch {
+		case er.Resolved:
+			kind = " (R)"
+		case er.Patched:
+			kind = " (P)"
+		}
+		lb := ""
+		if er.Certified {
+			lb = fmt.Sprintf("  lb=%.1f", er.LowerBound)
+		}
+		fmt.Printf("%-4d %-3s %6d %6d %10d %12d %8d%s%s\n",
+			i, er.Event.Op, er.Event.U, er.Event.V, er.Rounds, er.Messages, er.Weight, kind, lb)
+	}
+	fmt.Printf("\ntotals: %d rounds, %d messages, %d bits; %d full re-solves, %d patches\n",
+		tr.TotalRounds, tr.TotalMessages, tr.TotalBits, tr.Resolves, tr.Patches)
+	fmt.Printf("final forest: %d edges, weight %d\n", tr.Final.Size(), tr.FinalWeight)
 }

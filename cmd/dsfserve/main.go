@@ -12,29 +12,41 @@
 //	         [-in a.sfi,b.sfi]
 //	dsfserve -smoke [-smokereqs 64] [-smokep99 2000]
 //
-// Endpoints:
+// Endpoints (versioned; the unversioned paths remain as aliases):
 //
-//	POST /solve      {"instance": "gnp-n64-k3-s1", "algorithm": "det",
-//	                  "eps": "1/2", "seed": 7, "nocert": true}
-//	GET  /instances  resident instances
-//	POST /instances  {"family": "planted", "n": 200, "k": 8, "seed": 3}
-//	GET  /healthz    200 ok / 503 draining
-//	GET  /statsz     queue depth, in-flight, p50/p99 latency, throughput,
-//	                  accepted/rejected/completed counters, batch stats,
-//	                  cache hit/miss/collapse/eviction counters and bytes,
-//	                  warm/cold arena counts with mean setup ns
+//	POST /v1/instances/{name}/solve    {"algorithm": "det", "eps": "1/2",
+//	                                    "seed": 7, "nocert": true}
+//	POST /v1/instances/{name}/demands  {"events": [{"op": "add", "u": 3,
+//	                                    "v": 17}], "seed": 7}
+//	GET  /v1/instances                 resident instances
+//	POST /v1/instances                 {"family": "planted", "n": 200,
+//	                                    "k": 8, "seed": 3}
+//	GET  /v1/healthz                   200 ok / 503 draining
+//	GET  /v1/statsz                    queue depth, in-flight, p50/p99
+//	                                    latency, throughput, admission and
+//	                                    batch counters, cache and arena
+//	                                    gauges, demand-update counters
+//
+// Demand updates run under -policy (full|repair|every-k:<k>, the same
+// registry the other CLIs parse) and apply atomically between solve
+// batches; the instance's result cache is invalidated on every update.
+// All error responses share one JSON envelope:
+// {"error":{"code","message","retry_after_s"}}.
 //
 // -smoke is the CI self-test: it starts the full server on an ephemeral
-// loopback port, replays a closed-loop trace over real HTTP, and exits
-// nonzero unless every request succeeded (no errors, no rejections) with
-// p99 below -smokep99 milliseconds.
+// loopback port, replays a closed-loop trace over real HTTP, drives one
+// demand update and asserts the post-update solve is not served from the
+// stale cache, and exits nonzero unless every request succeeded (no
+// errors, no rejections) with p99 below -smokep99 milliseconds.
 //
 // On SIGINT/SIGTERM the server drains: new requests get 503, every
 // admitted request is answered, then the process exits.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -47,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	steinerforest "steinerforest"
 	"steinerforest/internal/bench"
 	"steinerforest/internal/serve"
 	"steinerforest/internal/workload"
@@ -65,6 +78,7 @@ func run() int {
 	retryAfter := flag.Duration("retryafter", time.Second, "Retry-After hint on 429 responses")
 	cacheMB := flag.Int64("cachemb", 64, "per-instance result cache budget in MiB (hits answer without re-solving)")
 	noCache := flag.Bool("nocache", false, "disable the result cache and singleflight collapse (every request solves)")
+	policy := flag.String("policy", "full", "demand-update re-solve policy: "+steinerforest.PolicyUsage())
 	preload := flag.String("preload", "gnp,planted",
 		"comma-separated workload families to generate at startup (registered: "+strings.Join(workload.Names(), ", ")+")")
 	n := flag.Int("n", 64, "preloaded instance node count")
@@ -77,6 +91,13 @@ func run() int {
 	smokeP99 := flag.Float64("smokep99", 2000, "with -smoke: max acceptable p99 latency in ms")
 	flag.Parse()
 
+	// Fail fast on a bad policy name instead of deferring to the first
+	// demand update.
+	if _, err := steinerforest.ParsePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, "dsfserve: bad -policy:", err)
+		return 2
+	}
+
 	srv := serve.New(serve.Config{
 		QueueDepth:   *depth,
 		MaxBatch:     *maxBatch,
@@ -85,6 +106,7 @@ func run() int {
 		RetryAfter:   *retryAfter,
 		CacheBytes:   *cacheMB << 20,
 		DisableCache: *noCache,
+		Policy:       *policy,
 	})
 	for _, fam := range splitList(*preload) {
 		info, err := srv.GenerateInstance("", fam, workload.Params{N: *n, K: *k, MaxW: *maxw, Seed: *seed})
@@ -176,6 +198,8 @@ func runSmoke(srv *serve.Server, reqs int, maxP99 float64) int {
 	fmt.Printf("smoke: %d requests, %d ok, %d rejected, %d errors, p50 %.2fms p99 %.2fms, %.1f req/s, mean batch %.2f\n",
 		res.Requests, res.OK, res.Rejected, res.Errors, res.P50, res.P99, res.PerSec, st.MeanBatch)
 
+	demandErr := smokeDemandUpdate(url, srv.Instances()[0])
+
 	srv.Shutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -188,9 +212,70 @@ func runSmoke(srv *serve.Server, reqs int, maxP99 float64) int {
 	case res.P99 > maxP99:
 		fmt.Fprintf(os.Stderr, "dsfserve: smoke FAILED: p99 %.2fms exceeds %.0fms\n", res.P99, maxP99)
 		return 1
+	case demandErr != nil:
+		fmt.Fprintln(os.Stderr, "dsfserve: smoke FAILED:", demandErr)
+		return 1
 	}
 	fmt.Println("smoke OK")
 	return 0
+}
+
+// smokeDemandUpdate drives one live demand update over the v1 API and
+// asserts the cache-invalidation contract: an identical solve request
+// is cached before the update and must NOT be served from the cache
+// after it (the cumulative demand set changed; a stale cached forest
+// would be a wrong answer).
+func smokeDemandUpdate(url string, info serve.InstanceInfo) error {
+	base := fmt.Sprintf("%s/v1/instances/%s", url, info.Name)
+	solveBody := []byte(`{"algorithm":"det","seed":42,"nocert":true}`)
+	solve := func() (serve.SolveResponse, error) {
+		var out serve.SolveResponse
+		resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(solveBody))
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return out, fmt.Errorf("solve status %d", resp.StatusCode)
+		}
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+
+	if _, err := solve(); err != nil {
+		return fmt.Errorf("pre-update solve: %w", err)
+	}
+	warm, err := solve()
+	if err != nil {
+		return fmt.Errorf("pre-update repeat solve: %w", err)
+	}
+	if !warm.Cached {
+		return fmt.Errorf("identical repeat solve not served from cache; invalidation check would prove nothing")
+	}
+
+	update := fmt.Sprintf(`{"events":[{"op":"add","u":0,"v":%d}],"seed":42}`, info.Nodes-1)
+	resp, err := http.Post(base+"/demands", "application/json", strings.NewReader(update))
+	if err != nil {
+		return fmt.Errorf("demand update: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("demand update status %d", resp.StatusCode)
+	}
+	var upd serve.DemandUpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&upd); err != nil {
+		return fmt.Errorf("demand update decode: %w", err)
+	}
+
+	fresh, err := solve()
+	if err != nil {
+		return fmt.Errorf("post-update solve: %w", err)
+	}
+	if fresh.Cached {
+		return fmt.Errorf("post-update solve served from stale cache")
+	}
+	fmt.Printf("smoke: demand update applied (policy %s, %d events, weight %d); post-update solve re-ran (weight %d)\n",
+		upd.Policy, len(upd.Events), upd.Weight, fresh.Weight)
+	return nil
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,82 @@
+package steinerforest
+
+import (
+	"testing"
+
+	"steinerforest/internal/steiner"
+	"steinerforest/internal/workload"
+)
+
+// timelineSlack bounds how far the cheap policies may drift above the
+// full re-solve per event. Repair's local search and every-k's patching
+// stay well inside it on every family/seed here (deterministic runs, so
+// this is a pin, not a flake gate).
+const timelineSlack = 2.5
+
+// TestPolicyProperties is the cross-policy property suite: after every
+// timeline event, the repair and every-k forests must be feasible for
+// the current demand set, weigh at least the moat-growing dual lower
+// bound, and weigh at most the full re-solve's weight times a fixed
+// slack.
+func TestPolicyProperties(t *testing.T) {
+	families := []string{"churn-gnp", "churn-grid2d", "churn-planted"}
+	for _, family := range families {
+		gen, err := workload.GenerateTimeline(family, workload.TimelineParams{
+			Params: workload.Params{N: 36, K: 3, Seed: 23}, Events: 16,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		spec := Spec{Algorithm: "det", Seed: 3} // certificates on: per-event dual bounds
+		full, err := SolveTimeline(gen.Timeline, spec, mustPolicy(t, "full"))
+		if err != nil {
+			t.Fatalf("%s/full: %v", family, err)
+		}
+		for _, name := range []string{"repair", "every-k:4"} {
+			tr, err := SolveTimeline(gen.Timeline, spec, mustPolicy(t, name))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", family, name, err)
+			}
+			if len(tr.Events) != len(full.Events) {
+				t.Fatalf("%s/%s: event count mismatch", family, name)
+			}
+			ds := NewDemandSet(gen.Timeline.G)
+			for _, p := range gen.Timeline.Initial {
+				if err := ds.Add(p[0], p[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, ev := range gen.Timeline.Events {
+				if err := ds.Apply(ev); err != nil {
+					t.Fatal(err)
+				}
+				er := tr.Events[i]
+				// Independent feasibility replay against a fresh
+				// cumulative instance (the driver verified too; this
+				// catches the driver lying).
+				if err := steiner.Verify(ds.Instance(), er.Forest); err != nil {
+					t.Fatalf("%s/%s: event %d infeasible: %v", family, name, i, err)
+				}
+				if !er.Certified {
+					t.Fatalf("%s/%s: event %d has no certificate", family, name, i)
+				}
+				if float64(er.Weight)+1e-6 < er.LowerBound {
+					t.Fatalf("%s/%s: event %d weight %d below dual bound %f",
+						family, name, i, er.Weight, er.LowerBound)
+				}
+				// fw == 0 means the demand set emptied out: any forest is
+				// feasible then, so the ratio only binds on live demands.
+				if fw := full.Events[i].Weight; fw > 0 && float64(er.Weight) > timelineSlack*float64(fw) {
+					t.Fatalf("%s/%s: event %d weight %d exceeds %g x full's %d",
+						family, name, i, er.Weight, timelineSlack, fw)
+				}
+				if gen.PlantedWeight > 0 && full.Events[i].Weight > 2*gen.PlantedWeight {
+					// The det solver is a 2-approximation and the planted
+					// forest upper-bounds OPT at every step.
+					t.Fatalf("%s: event %d full weight %d above 2x planted bound %d",
+						family, i, full.Events[i].Weight, gen.PlantedWeight)
+				}
+			}
+		}
+	}
+}

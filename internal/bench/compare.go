@@ -21,7 +21,8 @@ type CompareResult struct {
 func timingColumn(tableID, header string) bool {
 	// "ms" must match as a unit, not as a substring — "items" is a
 	// correctness column.
-	if header == "ms" || strings.HasPrefix(header, "ms(") || strings.Contains(header, "/s") ||
+	if header == "ms" || strings.HasPrefix(header, "ms(") || strings.HasPrefix(header, "ms/") ||
+		strings.Contains(header, "/s") ||
 		strings.Contains(header, "ns/") || strings.Contains(header, "allocs") {
 		return true
 	}

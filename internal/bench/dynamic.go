@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	steinerforest "steinerforest"
+	"steinerforest/internal/workload"
+)
+
+// PolicyFilter, when non-empty, restricts D1 to one policy (dsfbench
+// -policy). The "full" baseline still runs so the w/full column stays
+// meaningful, but only the filtered policy's rows are emitted.
+var PolicyFilter string
+
+// d1Policies is the fixed policy sweep of the committed snapshots.
+var d1Policies = []string{"full", "repair", "every-k:4"}
+
+// D1 benchmarks the dynamic-demand policies: for each churn family one
+// timeline is generated, and every policy steps down the identical
+// event stream. Per policy the table reports how often it paid for a
+// solver run (resolves/patches), the mean per-event round and wall-time
+// cost, and the final forest's weight against the full-re-solve
+// baseline and the planted OPT upper bound. The ok column folds the
+// correctness assertions: every step's forest verified feasible (the
+// driver hard-fails otherwise), and full's final weight bit-matches a
+// standalone Solve of the final cumulative demand set.
+func D1(sc Scale) *Table {
+	tab := &Table{
+		ID:    "D1",
+		Title: "dynamic demand: re-solve policies over churn timelines",
+		Claim: "repair/every-k pay o(full) rounds per event at bounded weight overhead; full stays bit-identical to standalone Solve",
+		Header: []string{"family", "policy", "events", "resolves", "patches",
+			"rounds/ev", "ms/ev", "w(final)", "w/full", "w/UB", "ok"},
+	}
+	n := 96 / int(sc)
+	if n < 32 {
+		n = 32
+	}
+	events := 24 / int(sc)
+	if events < 8 {
+		events = 8
+	}
+	spec := steinerforest.Spec{Algorithm: "det", NoCertificate: true}
+
+	policies := d1Policies
+	if PolicyFilter != "" {
+		policies = []string{PolicyFilter}
+		tab.Notes = append(tab.Notes, "policy sweep filtered to "+PolicyFilter+" (-policy)")
+	}
+
+	for _, fam := range []string{"churn-gnp", "churn-planted", "churn-grid2d"} {
+		gen, err := workload.GenerateTimeline(fam, workload.TimelineParams{
+			Params: workload.Params{N: n, K: 4, MaxW: 64, Seed: 1},
+			Events: events,
+		})
+		if err != nil {
+			tab.Notes = append(tab.Notes, fam+": "+err.Error())
+			tab.Failed = true
+			continue
+		}
+		tl := gen.Timeline
+
+		// The full baseline always runs (w/full needs it), but its row is
+		// only emitted when the sweep includes it.
+		fullWeight := int64(-1)
+		if policies[0] != "full" {
+			if tr, err := runPolicy(tl, spec, "full"); err == nil {
+				fullWeight = tr.FinalWeight
+			}
+		}
+
+		for _, polName := range policies {
+			start := time.Now()
+			tr, err := runPolicy(tl, spec, polName)
+			elapsed := time.Since(start)
+			if err != nil {
+				tab.Notes = append(tab.Notes, fmt.Sprintf("%s/%s: %v", fam, polName, err))
+				tab.Failed = true
+				continue
+			}
+			ok := true
+			if polName == "full" {
+				fullWeight = tr.FinalWeight
+				// Bit-identity pin: full's final forest is what a standalone
+				// Solve of the final cumulative demand set produces.
+				ds := steinerforest.NewDemandSet(tl.G)
+				for _, p := range tl.Initial {
+					if err := ds.Add(p[0], p[1]); err != nil {
+						ok = false
+					}
+				}
+				for _, ev := range tl.Events {
+					if err := ds.Apply(ev); err != nil {
+						ok = false
+					}
+				}
+				if ok {
+					want, err := steinerforest.Solve(ds.Instance(), spec)
+					ok = err == nil && want.Weight == tr.FinalWeight
+				}
+			}
+			if !ok {
+				tab.Failed = true
+			}
+			wFull := "-"
+			if fullWeight > 0 {
+				wFull = f3(float64(tr.FinalWeight) / float64(fullWeight))
+			}
+			wUB := "-"
+			if gen.PlantedWeight > 0 {
+				wUB = f3(float64(tr.FinalWeight) / float64(gen.PlantedWeight))
+			}
+			ne := len(tr.Events)
+			tab.Rows = append(tab.Rows, []string{
+				fam, polName, d(ne), d(tr.Resolves), d(tr.Patches),
+				f(float64(tr.TotalRounds) / float64(ne)),
+				f3(float64(elapsed.Microseconds()) / 1000.0 / float64(ne)),
+				d64(tr.FinalWeight), wFull, wUB, fmt.Sprintf("%v", ok),
+			})
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"rounds/ev counts only CONGEST work the policy paid for (free events cost 0); w/UB binds on churn-planted only")
+	return tab
+}
+
+func runPolicy(tl *workload.Timeline, spec steinerforest.Spec, name string) (*steinerforest.TimelineResult, error) {
+	pol, err := steinerforest.ParsePolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	return steinerforest.SolveTimeline(tl, spec, pol)
+}

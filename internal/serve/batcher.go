@@ -35,6 +35,11 @@ type job struct {
 	cache    *solveCache
 	cacheKey steinerforest.Spec
 	flight   *flight
+
+	// update, when non-nil, makes this a demand-update job instead of a
+	// solve: it rides the same bounded queue (sharing 429/503 admission
+	// semantics) and the dispatcher applies it between solve batches.
+	update *updateJob
 }
 
 // admitOutcome distinguishes the three admission answers.
@@ -110,9 +115,33 @@ func (s *Server) drainQueue(head *job) []*job {
 	}
 }
 
-// dispatchAll groups jobs by batchKey and dispatches each group in the
-// arrival order of its first member, splitting groups at MaxBatch.
+// dispatchAll walks the drained jobs in arrival order: runs of solve
+// jobs coalesce into batches, and each demand-update job flushes the
+// pending solves first, then applies alone. Solves admitted before an
+// update therefore see the old demand state, solves admitted after it
+// see the new one — the queue order is the serialization order.
 func (s *Server) dispatchAll(jobs []*job) {
+	var solves []*job
+	flush := func() {
+		if len(solves) > 0 {
+			s.dispatchSolves(solves)
+			solves = nil
+		}
+	}
+	for _, j := range jobs {
+		if j.update != nil {
+			flush()
+			s.applyDemandUpdate(j)
+			continue
+		}
+		solves = append(solves, j)
+	}
+	flush()
+}
+
+// dispatchSolves groups solve jobs by batchKey and dispatches each
+// group in the arrival order of its first member, splitting at MaxBatch.
+func (s *Server) dispatchSolves(jobs []*job) {
 	byKey := make(map[batchKey][]*job)
 	var order []batchKey
 	for _, j := range jobs {

@@ -12,13 +12,13 @@ import (
 	"steinerforest/internal/workload"
 )
 
-// SolveRequest is the POST /solve body. Instance names a resident
-// instance; every other field maps onto the corresponding Spec knob and
-// is validated at admission (Spec.Validate plus the strict epsilon
-// parser), so malformed requests fail with 400 and a precise message
-// instead of a late solver error.
+// SolveRequest is the solve body (POST /v1/instances/{name}/solve, or
+// the legacy POST /solve with Instance set). Every field maps onto the
+// corresponding Spec knob and is validated at admission (Spec.Validate
+// plus the strict epsilon parser), so malformed requests fail with 400
+// and a precise message instead of a late solver error.
 type SolveRequest struct {
-	Instance    string `json:"instance"`
+	Instance    string `json:"instance,omitempty"` // redundant on the /v1 path-scoped route
 	Algorithm   string `json:"algorithm,omitempty"` // "" = det
 	Eps         string `json:"eps,omitempty"`       // "num/den", e.g. "1/2"
 	Seed        int64  `json:"seed,omitempty"`
@@ -53,7 +53,7 @@ func (r SolveRequest) Spec() (steinerforest.Spec, error) {
 	return spec, nil
 }
 
-// SolveResponse is the POST /solve answer.
+// SolveResponse is the solve answer.
 type SolveResponse struct {
 	Instance   string  `json:"instance"`
 	Algorithm  string  `json:"algorithm"`
@@ -69,8 +69,8 @@ type SolveResponse struct {
 	ElapsedMS  float64 `json:"elapsed_ms"`       // admission to completion, server-side
 }
 
-// GenerateRequest is the POST /instances body: generate a workload-family
-// instance and keep it resident.
+// GenerateRequest is the POST /v1/instances body: generate a
+// workload-family instance and keep it resident.
 type GenerateRequest struct {
 	Name   string `json:"name,omitempty"` // default "<family>-n<N>-k<K>-s<Seed>"
 	Family string `json:"family"`
@@ -80,8 +80,73 @@ type GenerateRequest struct {
 	Seed   int64  `json:"seed,omitempty"`
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// DemandEvent is one demand change in a POST
+// /v1/instances/{name}/demands body.
+type DemandEvent struct {
+	Op string `json:"op"` // "add" or "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// DemandUpdateRequest is the demand-update body: an ordered event list
+// plus the solver knobs the policy's re-solve/patch runs use.
+type DemandUpdateRequest struct {
+	Events    []DemandEvent `json:"events"`
+	Algorithm string        `json:"algorithm,omitempty"` // "" = det
+	Eps       string        `json:"eps,omitempty"`
+	Seed      int64         `json:"seed,omitempty"`
+}
+
+// DemandEventOutcome reports one applied event: what the policy paid
+// and the standing forest's weight after it.
+type DemandEventOutcome struct {
+	Op       string `json:"op"`
+	U        int    `json:"u"`
+	V        int    `json:"v"`
+	Resolved bool   `json:"resolved,omitempty"`
+	Patched  bool   `json:"patched,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+	Messages int64  `json:"messages,omitempty"`
+	Weight   int64  `json:"weight"`
+}
+
+// DemandUpdateResponse is the demand-update answer. The update applied
+// atomically: every event in order, or none (a 4xx/5xx instead).
+type DemandUpdateResponse struct {
+	Instance        string               `json:"instance"`
+	Policy          string               `json:"policy"`
+	Bootstrapped    bool                 `json:"bootstrapped,omitempty"` // first update solved the pre-update demands
+	BootstrapRounds int                  `json:"bootstrap_rounds,omitempty"`
+	Events          []DemandEventOutcome `json:"events"`
+	K               int                  `json:"k"`
+	Terminals       int                  `json:"t"`
+	Pairs           int                  `json:"pairs"`
+	TimelineEvents  int                  `json:"timeline_events"` // total events absorbed over the instance's lifetime
+	Weight          int64                `json:"weight"`          // standing forest weight after the update
+	ElapsedMS       float64              `json:"elapsed_ms"`
+}
+
+// Error envelope codes. Every non-2xx response uses the same shape:
+// {"error":{"code","message","retry_after_s"}}.
+const (
+	codeBadRequest = "bad_request" // 400: malformed body, unknown knob, invalid event
+	codeNotFound   = "not_found"   // 404: no resident instance by that name
+	codeQueueFull  = "queue_full"  // 429: admission queue full; retry_after_s set
+	codeDraining   = "draining"    // 503: shutdown in progress
+	codeCancelled  = "cancelled"   // 503: client went away mid-request
+	codeInternal   = "internal"    // 500: solver or policy failure
+)
+
+// ErrorDetail is the error envelope payload.
+type ErrorDetail struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// ErrorEnvelope is the uniform non-2xx response body.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -90,56 +155,103 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// Handler returns the service's HTTP routes:
+// Handler returns the service's HTTP routes, versioned and
+// instance-scoped:
 //
-//	POST /solve      solve a resident instance (429 + Retry-After on overflow)
-//	GET  /instances  list resident instances
-//	POST /instances  generate + register a workload-family instance
-//	GET  /healthz    200 "ok", 503 "draining" once Shutdown began
-//	GET  /statsz     metrics snapshot (queue depth, in-flight, p50/p99, ...)
+//	POST /v1/instances/{name}/solve    solve a resident instance (429 + Retry-After on overflow)
+//	POST /v1/instances/{name}/demands  apply a demand-update event stream (add/remove pairs)
+//	GET  /v1/instances                 list resident instances
+//	POST /v1/instances                 generate + register a workload-family instance
+//	GET  /v1/healthz                   200 "ok", 503 "draining" once Shutdown began
+//	GET  /v1/statsz                    metrics snapshot (queue depth, in-flight, p50/p99, ...)
+//
+// The pre-versioning paths (POST /solve with the instance named in the
+// body, /instances, /healthz, /statsz) remain as thin aliases onto the
+// same handlers; the routing test pins the equivalence. All error
+// responses share the ErrorEnvelope shape.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", s.handleSolve)
-	mux.HandleFunc("GET /instances", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Instances())
-	})
+	mux.HandleFunc("POST /v1/instances/{name}/solve", s.handleSolveScoped)
+	mux.HandleFunc("POST /v1/instances/{name}/demands", s.handleDemands)
+	mux.HandleFunc("GET /v1/instances", s.handleList)
+	mux.HandleFunc("POST /v1/instances", s.handleGenerate)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+
+	// Legacy unversioned aliases.
+	mux.HandleFunc("POST /solve", s.handleSolveLegacy)
+	mux.HandleFunc("GET /instances", s.handleList)
 	mux.HandleFunc("POST /instances", s.handleGenerate)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			writeError(w, http.StatusServiceUnavailable, "draining")
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Statsz())
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
 }
 
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Instances())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statsz())
+}
+
+// handleSolveScoped serves POST /v1/instances/{name}/solve: the
+// instance comes from the path; a body naming a different instance is
+// rejected rather than silently overridden.
+func (s *Server) handleSolveScoped(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := r.PathValue("name")
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Instance != "" && req.Instance != name {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"body names instance %q but the path names %q", req.Instance, name)
+		return
+	}
+	req.Instance = name
+	s.serveSolve(w, r, req, start)
+}
+
+// handleSolveLegacy serves the pre-versioning POST /solve, where the
+// body names the instance.
+func (s *Server) handleSolveLegacy(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Instance == "" {
-		writeError(w, http.StatusBadRequest, "missing instance name")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing instance name")
 		return
 	}
+	s.serveSolve(w, r, req, start)
+}
+
+func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, req SolveRequest, start time.Time) {
 	e := s.lookup(req.Instance)
 	if e == nil {
-		writeError(w, http.StatusNotFound, "no resident instance %q (see GET /instances)", req.Instance)
+		writeError(w, http.StatusNotFound, codeNotFound, "no resident instance %q (see GET /v1/instances)", req.Instance)
 		return
 	}
 	spec, err := req.Spec()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	// The canonical spec is both the cache key and what actually gets
@@ -148,7 +260,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// one cache slot, one singleflight, and one batch-compatible key.
 	canon := spec.Canonical()
 	if !slices.Contains(steinerforest.Algorithms(), canon.Algorithm) {
-		writeError(w, http.StatusBadRequest, "unknown algorithm %q (registered: %v)", canon.Algorithm, steinerforest.Algorithms())
+		writeError(w, http.StatusBadRequest, codeBadRequest, "unknown algorithm %q (registered: %v)", canon.Algorithm, steinerforest.Algorithms())
 		return
 	}
 	// Hits and collapsed followers bypass admission entirely, so the
@@ -156,7 +268,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// is refused, matching the admission path's contract.
 	if s.Draining() {
 		s.metrics.incDrained()
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server draining")
 		return
 	}
 
@@ -204,21 +316,104 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if fl != nil {
 			e.cache.complete(canon, fl, flightDrained, nil, nil, 0)
 		}
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server draining")
 		return
 	}
 
 	select {
 	case out := <-j.done:
 		if out.err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", out.err)
+			writeError(w, http.StatusInternalServerError, codeInternal, "%v", out.err)
 			return
 		}
 		s.writeSolveResult(w, req.Instance, out.res, out.batch, false, start)
 	case <-r.Context().Done():
 		// Client gone; the buffered done channel lets the dispatcher
 		// finish the slot (and resolve the flight) without blocking.
-		writeError(w, http.StatusServiceUnavailable, "client cancelled")
+		writeError(w, http.StatusServiceUnavailable, codeCancelled, "client cancelled")
+	}
+}
+
+// handleDemands serves POST /v1/instances/{name}/demands: the event
+// stream is admitted through the same bounded queue as solves (full
+// queue and draining answers match), and the single dispatcher applies
+// it atomically between solve batches.
+func (s *Server) handleDemands(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := r.PathValue("name")
+	var req DemandUpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no events (want [{\"op\":\"add\",\"u\":...,\"v\":...}, ...])")
+		return
+	}
+	events := make([]workload.TimelineEvent, 0, len(req.Events))
+	for i, ev := range req.Events {
+		var op workload.EventOp
+		switch ev.Op {
+		case "add":
+			op = workload.EventAdd
+		case "remove":
+			op = workload.EventRemove
+		default:
+			writeError(w, http.StatusBadRequest, codeBadRequest, "event %d has op %q (want %q or %q)", i, ev.Op, "add", "remove")
+			return
+		}
+		events = append(events, workload.TimelineEvent{Op: op, U: ev.U, V: ev.V})
+	}
+	if s.lookup(name) == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "no resident instance %q (see GET /v1/instances)", name)
+		return
+	}
+	spec, err := (SolveRequest{Algorithm: req.Algorithm, Eps: req.Eps, Seed: req.Seed}).Spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	canon := spec.Canonical()
+	if !slices.Contains(steinerforest.Algorithms(), canon.Algorithm) {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "unknown algorithm %q (registered: %v)", canon.Algorithm, steinerforest.Algorithms())
+		return
+	}
+	if s.Draining() {
+		s.metrics.incDrained()
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server draining")
+		return
+	}
+
+	u := &updateJob{name: name, events: events, spec: canon, done: make(chan updateAnswer, 1)}
+	j := &job{admitted: start, update: u}
+	switch s.admit(j) {
+	case admitFull:
+		s.writeRejected(w)
+		return
+	case admitDraining:
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server draining")
+		return
+	}
+
+	select {
+	case ans := <-u.done:
+		if ans.err != nil {
+			status := http.StatusInternalServerError
+			switch ans.code {
+			case codeBadRequest:
+				status = http.StatusBadRequest
+			case codeNotFound:
+				status = http.StatusNotFound
+			}
+			writeError(w, status, ans.code, "%v", ans.err)
+			return
+		}
+		ans.res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000.0
+		writeJSON(w, http.StatusOK, ans.res)
+	case <-r.Context().Done():
+		// The dispatcher still applies the admitted update; only the
+		// response is lost (the buffered channel keeps apply non-blocking).
+		writeError(w, http.StatusServiceUnavailable, codeCancelled, "client cancelled")
 	}
 }
 
@@ -230,7 +425,7 @@ func (s *Server) waitFlight(w http.ResponseWriter, r *http.Request, instance str
 	select {
 	case <-fl.done:
 	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, "client cancelled")
+		writeError(w, http.StatusServiceUnavailable, codeCancelled, "client cancelled")
 		return
 	}
 	switch fl.outcome {
@@ -239,13 +434,13 @@ func (s *Server) waitFlight(w http.ResponseWriter, r *http.Request, instance str
 		s.writeSolveResult(w, instance, fl.res, fl.batch, false, start)
 	case flightError:
 		s.metrics.recordDone(time.Since(start), true)
-		writeError(w, http.StatusInternalServerError, "%v", fl.err)
+		writeError(w, http.StatusInternalServerError, codeInternal, "%v", fl.err)
 	case flightRejected:
 		s.metrics.incRejected()
 		s.writeRejected(w)
 	case flightDrained:
 		s.metrics.incDrained()
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server draining")
 	}
 }
 
@@ -255,7 +450,11 @@ func (s *Server) writeRejected(w http.ResponseWriter) {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeError(w, http.StatusTooManyRequests, "admission queue full (depth %d); retry after %ds", s.cfg.QueueDepth, secs)
+	writeJSON(w, http.StatusTooManyRequests, ErrorEnvelope{Error: ErrorDetail{
+		Code:        codeQueueFull,
+		Message:     fmt.Sprintf("admission queue full (depth %d); retry after %ds", s.cfg.QueueDepth, secs),
+		RetryAfterS: secs,
+	}})
 }
 
 func (s *Server) writeSolveResult(w http.ResponseWriter, instance string, res *steinerforest.Result, batch int, cached bool, start time.Time) {
@@ -277,18 +476,18 @@ func (s *Server) writeSolveResult(w http.ResponseWriter, instance string, res *s
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Family == "" {
-		writeError(w, http.StatusBadRequest, "missing family (registered: %v)", workload.Names())
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing family (registered: %v)", workload.Names())
 		return
 	}
 	info, err := s.GenerateInstance(req.Name, req.Family, workload.Params{
 		N: req.N, K: req.K, MaxW: req.MaxW, Seed: req.Seed,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)

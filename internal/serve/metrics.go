@@ -31,6 +31,12 @@ type Stats struct {
 	CacheBytes     int64  `json:"cache_bytes"`
 	CacheEntries   int    `json:"cache_entries"`
 
+	// Demand updates: applied update requests and the timeline events
+	// they carried. Counted apart from Completed, which stays the
+	// client-observed solve-OK count the load harness asserts on.
+	DemandUpdates uint64 `json:"demand_updates"`
+	DemandEvents  uint64 `json:"demand_events"`
+
 	// Warm engine arenas: solver runs that reused a pooled arena vs
 	// allocated cold, with the mean engine-setup ns on each side
 	// (aggregated over the per-instance pools; not cleared by reset).
@@ -75,6 +81,9 @@ type metrics struct {
 	cacheMisses atomic.Uint64
 	collapsed   atomic.Uint64
 
+	demandUpdates atomic.Uint64
+	demandEvents  atomic.Uint64
+
 	batches     atomic.Uint64
 	batchedReqs atomic.Uint64
 	maxBatchLen atomic.Int64
@@ -103,6 +112,8 @@ func (m *metrics) reset() {
 	m.cacheHits.Store(0)
 	m.cacheMisses.Store(0)
 	m.collapsed.Store(0)
+	m.demandUpdates.Store(0)
+	m.demandEvents.Store(0)
 	m.batches.Store(0)
 	m.batchedReqs.Store(0)
 	m.maxBatchLen.Store(0)
@@ -119,6 +130,11 @@ func (m *metrics) incDrained()   { m.drained.Add(1) }
 func (m *metrics) incHit()       { m.cacheHits.Add(1) }
 func (m *metrics) incMiss()      { m.cacheMisses.Add(1) }
 func (m *metrics) incCollapsed() { m.collapsed.Add(1) }
+
+func (m *metrics) incDemandUpdate(events int) {
+	m.demandUpdates.Add(1)
+	m.demandEvents.Add(uint64(events))
+}
 
 func (m *metrics) recordBatch(size int) {
 	m.batches.Add(1)
@@ -185,6 +201,7 @@ func (m *metrics) snapshot(queueDepth, inFlight int) Stats {
 		Accepted: m.accepted.Load(), Rejected: m.rejected.Load(), Drained: m.drained.Load(),
 		Completed: completed, Errors: m.errors.Load(),
 		CacheHits: m.cacheHits.Load(), CacheMisses: m.cacheMisses.Load(), Collapsed: m.collapsed.Load(),
+		DemandUpdates: m.demandUpdates.Load(), DemandEvents: m.demandEvents.Load(),
 		QueueDepth: queueDepth, InFlight: inFlight,
 		Batches: batches, BatchedReqs: batchedReqs, MaxBatchLen: int(m.maxBatchLen.Load()),
 		P50ms: quantile(sorted, 0.50), P99ms: quantile(sorted, 0.99),

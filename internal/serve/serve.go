@@ -63,6 +63,11 @@ type Config struct {
 	// request is admitted and solved individually, as before PR 8. The
 	// warm arena pools stay on either way (they are invisible in results).
 	DisableCache bool
+
+	// Policy names the re-solve policy demand updates run under
+	// (default "full"; parsed by the shared steinerforest.ParsePolicy,
+	// so "repair" and "every-k:<k>" work here exactly as on the CLIs).
+	Policy string
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.Policy == "" {
+		c.Policy = "full"
+	}
 	return c
 }
 
@@ -95,13 +103,29 @@ type InstanceInfo struct {
 	K         int    `json:"k"`
 	Terminals int    `json:"t"`
 	Family    string `json:"family,omitempty"` // generator family, when known
+	Pairs     int    `json:"pairs"`            // active demand pairs (distinct)
+	Events    int    `json:"events,omitempty"` // demand-update events absorbed so far
 }
 
+// entry is one resident instance. Demand updates never mutate an entry
+// in place: the dispatcher builds a replacement (new cumulative
+// instance, fresh result cache, same warm arena pool) and swaps the map
+// slot, so a solve racing an update sees either the complete old state
+// or the complete new one — and a singleflight completing late inserts
+// into the orphaned old cache, where no future lookup can find it.
 type entry struct {
 	info  InstanceInfo
 	ins   *steiner.Instance
 	cache *solveCache        // nil when Config.DisableCache
 	pool  *congest.ArenaPool // warm engine arenas for this instance's CSR shape
+
+	// demands is the live pair multiset the instance's labels encode;
+	// standing is the policy-maintained forest (nil until the first
+	// demand update bootstraps it), events the timeline index the next
+	// update continues from.
+	demands  *steinerforest.DemandSet
+	standing *steinerforest.Solution
+	events   int
 }
 
 // Server is the solver service. Create with New, expose with Handler,
@@ -127,6 +151,12 @@ type Server struct {
 	instMu    sync.RWMutex
 	instances map[string]*entry
 
+	// policy is the parsed Config.Policy; policyErr records a parse
+	// failure (every demand update then fails with it, loudly, instead
+	// of silently falling back to a different policy).
+	policy    steinerforest.Policy
+	policyErr error
+
 	// solveBatch is the dispatch function; tests swap it to control
 	// batch timing without a real solver run.
 	solveBatch func(ins []*steinerforest.Instance, specs []steinerforest.Spec, workers int) ([]*steinerforest.Result, error)
@@ -142,6 +172,7 @@ func New(cfg Config) *Server {
 		instances:  make(map[string]*entry),
 		solveBatch: steinerforest.SolveBatchSpecs,
 	}
+	s.policy, s.policyErr = steinerforest.ParsePolicy(s.cfg.Policy)
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	s.batcher.Add(1)
 	go s.dispatchLoop()
@@ -159,11 +190,16 @@ func (s *Server) RegisterInstance(name string, ins *steiner.Instance, family str
 		return fmt.Errorf("serve: instance %q: %w", name, err)
 	}
 	ins.G.Freeze()
+	demands, err := demandsFromInstance(ins)
+	if err != nil {
+		return fmt.Errorf("serve: instance %q: %w", name, err)
+	}
 	info := InstanceInfo{
 		Name: name, Nodes: ins.G.N(), Edges: ins.G.M(),
 		K: ins.NumComponents(), Terminals: ins.NumTerminals(), Family: family,
+		Pairs: demands.Len(),
 	}
-	e := &entry{info: info, ins: ins, pool: congest.NewArenaPool()}
+	e := &entry{info: info, ins: ins, pool: congest.NewArenaPool(), demands: demands}
 	if !s.cfg.DisableCache {
 		e.cache = newSolveCache(s.cfg.CacheBytes)
 	}

@@ -1,0 +1,64 @@
+package steiner
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"steinerforest/internal/graph"
+)
+
+// TestPathSwapImproves pins the basic move: a feasible solution using an
+// expensive direct edge is swapped onto the cheap two-hop detour.
+func TestPathSwapImproves(t *testing.T) {
+	g := graph.New(3)
+	direct := g.AddEdge(0, 2, 10)
+	a := g.AddEdge(0, 1, 2)
+	b := g.AddEdge(1, 2, 3)
+	ins := NewInstance(g)
+	ins.SetComponent(0, 0, 2)
+	s := SolutionFromEdges(g, []int{direct})
+	out := PathSwap(ins, s, 4)
+	if err := Verify(ins, out); err != nil {
+		t.Fatalf("swapped solution infeasible: %v", err)
+	}
+	if got, want := out.Weight(g), int64(5); got != want {
+		t.Fatalf("weight %d after swap, want %d", got, want)
+	}
+	if !out.Selected[a] || !out.Selected[b] || out.Selected[direct] {
+		t.Fatalf("unexpected edge set %v", out.Edges())
+	}
+}
+
+// TestPathSwapInvariants checks, over random feasible inputs, that the
+// result is feasible, a forest, never heavier, and deterministic.
+func TestPathSwapInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.GNP(24, 3.0/24, graph.RandomWeights(rng, 50), rng)
+		ins := NewInstance(g)
+		perm := rng.Perm(g.N())
+		ins.SetComponent(0, perm[0], perm[1], perm[2])
+		ins.SetComponent(1, perm[3], perm[4])
+		// Feasible starting point: all edges selected, then pruned.
+		all := NewSolution(g)
+		for i := range all.Selected {
+			all.Selected[i] = true
+		}
+		start := Prune(ins, all)
+		out := PathSwap(ins, start, 4)
+		if err := Verify(ins, out); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		if !IsForest(g, out) {
+			t.Fatalf("trial %d: not a forest", trial)
+		}
+		if out.Weight(g) > start.Weight(g) {
+			t.Fatalf("trial %d: weight grew %d -> %d", trial, start.Weight(g), out.Weight(g))
+		}
+		again := PathSwap(ins, start, 4)
+		if !reflect.DeepEqual(out.Selected, again.Selected) {
+			t.Fatalf("trial %d: nondeterministic result", trial)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"steinerforest/internal/graph"
+	"steinerforest/internal/steiner"
+)
+
+// EventOp is a demand-timeline event kind.
+type EventOp int
+
+const (
+	// EventAdd activates a connection request between two nodes.
+	EventAdd EventOp = iota
+	// EventRemove retires one previously-added activation of a pair.
+	EventRemove
+)
+
+// String renders the op in the timeline text format ("+" / "-").
+func (op EventOp) String() string {
+	switch op {
+	case EventAdd:
+		return "+"
+	case EventRemove:
+		return "-"
+	default:
+		return fmt.Sprintf("EventOp(%d)", int(op))
+	}
+}
+
+// TimelineEvent is one demand change: AddPair or RemovePair on {U, V}.
+type TimelineEvent struct {
+	Op EventOp
+	U  int
+	V  int
+}
+
+// Timeline is a dynamic demand scenario: one persistent graph, the
+// initially-active connection pairs, and an ordered stream of
+// add/remove events over it. Demands are a pair multiset — the same
+// pair may be added twice, and each remove retires one activation — so
+// any prefix of a valid timeline is itself a valid demand state.
+type Timeline struct {
+	G       *graph.Graph
+	Initial [][2]int
+	Events  []TimelineEvent
+}
+
+// NormalizePair orders a demand pair as (min, max) after validating it
+// against an n-node graph: both endpoints in range and u != v.
+func NormalizePair(n, u, v int) ([2]int, error) {
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return [2]int{}, fmt.Errorf("workload: pair {%d,%d} out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return [2]int{}, fmt.Errorf("workload: self-pair at node %d", u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}, nil
+}
+
+// Validate checks the whole timeline: every pair in range and non-self,
+// and every remove retiring a pair that is active at that point.
+func (tl *Timeline) Validate() error {
+	if tl.G == nil {
+		return fmt.Errorf("workload: timeline has no graph")
+	}
+	n := tl.G.N()
+	active := make(map[[2]int]int)
+	for i, p := range tl.Initial {
+		key, err := NormalizePair(n, p[0], p[1])
+		if err != nil {
+			return fmt.Errorf("workload: initial pair %d: %w", i, err)
+		}
+		active[key]++
+	}
+	for i, ev := range tl.Events {
+		key, err := NormalizePair(n, ev.U, ev.V)
+		if err != nil {
+			return fmt.Errorf("workload: event %d: %w", i, err)
+		}
+		switch ev.Op {
+		case EventAdd:
+			active[key]++
+		case EventRemove:
+			if active[key] == 0 {
+				return fmt.Errorf("workload: event %d removes inactive pair {%d,%d}", i, ev.U, ev.V)
+			}
+			active[key]--
+		default:
+			return fmt.Errorf("workload: event %d has unknown op %d", i, int(ev.Op))
+		}
+	}
+	return nil
+}
+
+// InitialInstance builds the DSF-IC instance of the initially-active
+// pairs (the canonical request-to-component conversion of Lemma 2.3).
+func (tl *Timeline) InitialInstance() *steiner.Instance {
+	req := steiner.NewRequests(tl.G)
+	for _, p := range tl.Initial {
+		req.Add(p[0], p[1])
+	}
+	return req.ToInstance()
+}
+
+// TimelineParams configures one timeline generation: the base instance
+// parameters (K counts the initially-active pairs) plus the event count.
+type TimelineParams struct {
+	Params
+
+	// Events is the number of add/remove events (default 24).
+	Events int
+}
+
+func (p TimelineParams) withDefaults() TimelineParams {
+	p.Params = p.Params.withDefaults()
+	if p.Events == 0 {
+		p.Events = 24
+	}
+	return p
+}
+
+func (p TimelineParams) validate() error {
+	if err := p.Params.validate(); err != nil {
+		return err
+	}
+	if p.Events < 0 {
+		return fmt.Errorf("workload: Events %d < 0", p.Events)
+	}
+	return nil
+}
+
+// GeneratedTimeline is the output of a timeline family: the timeline
+// and, when the underlying construction knows one, a solution feasible
+// for every reachable demand state along it.
+type GeneratedTimeline struct {
+	Timeline *Timeline
+
+	// Planted, when non-nil, is feasible by construction for the demand
+	// set after any event prefix (every generated pair lies inside one
+	// planted tree); PlantedWeight upper-bounds OPT at every step.
+	Planted       *steiner.Solution
+	PlantedWeight int64
+}
+
+// TimelineGenFunc builds one timeline from validated, defaulted params.
+type TimelineGenFunc func(p TimelineParams) (*GeneratedTimeline, error)
+
+// TimelineFamily is a registered timeline family.
+type TimelineFamily struct {
+	Name        string
+	Description string
+	Gen         TimelineGenFunc
+}
+
+var tlRegistry = struct {
+	sync.RWMutex
+	m map[string]TimelineFamily
+}{m: make(map[string]TimelineFamily)}
+
+// RegisterTimeline adds a timeline family to the registry. It errors on
+// empty names, nil generators, and duplicates.
+func RegisterTimeline(f TimelineFamily) error {
+	if f.Name == "" || f.Gen == nil {
+		return fmt.Errorf("workload: invalid timeline family registration %q", f.Name)
+	}
+	tlRegistry.Lock()
+	defer tlRegistry.Unlock()
+	if _, dup := tlRegistry.m[f.Name]; dup {
+		return fmt.Errorf("workload: timeline family %q already registered", f.Name)
+	}
+	tlRegistry.m[f.Name] = f
+	return nil
+}
+
+// GetTimeline returns the named timeline family.
+func GetTimeline(name string) (TimelineFamily, bool) {
+	tlRegistry.RLock()
+	defer tlRegistry.RUnlock()
+	f, ok := tlRegistry.m[name]
+	return f, ok
+}
+
+// TimelineNames returns the registered timeline family names, sorted.
+func TimelineNames() []string {
+	tlRegistry.RLock()
+	defer tlRegistry.RUnlock()
+	names := make([]string, 0, len(tlRegistry.m))
+	for name := range tlRegistry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GenerateTimeline runs the named timeline family on p (after
+// defaulting and validation) and validates its output.
+func GenerateTimeline(name string, p TimelineParams) (*GeneratedTimeline, error) {
+	f, ok := GetTimeline(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown timeline family %q (registered: %v)", name, TimelineNames())
+	}
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	out, err := f.Gen(p)
+	if err != nil {
+		return nil, fmt.Errorf("workload: timeline family %q: %w", name, err)
+	}
+	if err := out.Timeline.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: timeline family %q produced invalid timeline: %w", name, err)
+	}
+	return out, nil
+}
+
+func mustRegisterTimeline(f TimelineFamily) {
+	if err := RegisterTimeline(f); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	for _, base := range []string{"gnp", "grid2d", "planted", "roadmesh"} {
+		mustRegisterTimeline(TimelineFamily{
+			Name: "churn-" + base,
+			Description: "demand churn over a frozen " + base + " instance: K initial " +
+				"pairs, then a deterministic add/remove event stream",
+			Gen: churnGen(base),
+		})
+	}
+}
+
+// churnGen wraps a base instance family into a timeline family: the base
+// generator supplies the graph (its demand labels are discarded), then a
+// candidate pair pool is drawn and churned — roughly 60% adds, 40%
+// removes, removes only when something is active, re-adds allowed. For
+// the planted base every candidate pair lies inside one planted tree, so
+// the planted forest stays feasible (and PlantedWeight an OPT upper
+// bound) after every event prefix.
+func churnGen(base string) TimelineGenFunc {
+	return func(p TimelineParams) (*GeneratedTimeline, error) {
+		gen, err := Generate(base, p.Params)
+		if err != nil {
+			return nil, err
+		}
+		g := gen.Instance.G
+		// Independent stream from the graph's: the same seed must not
+		// make event randomness replay generator randomness.
+		rng := rand.New(rand.NewSource(mixSeed(p.Seed)))
+		pool := candidatePairs(gen, p, rng)
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("no candidate demand pairs for n=%d", g.N())
+		}
+
+		tl := &Timeline{G: g}
+		// Swap-removal index sets: deterministic O(1) picks either way.
+		idle := make([]int, len(pool))
+		for i := range idle {
+			idle[i] = i
+		}
+		var active []int
+		pick := func(from *[]int) int {
+			s := *from
+			i := rng.Intn(len(s))
+			v := s[i]
+			s[i] = s[len(s)-1]
+			*from = s[:len(s)-1]
+			return v
+		}
+		add := func() [2]int {
+			v := pick(&idle)
+			active = append(active, v)
+			return pool[v]
+		}
+		remove := func() [2]int {
+			v := pick(&active)
+			idle = append(idle, v)
+			return pool[v]
+		}
+		for i := 0; i < p.K && len(idle) > 0; i++ {
+			tl.Initial = append(tl.Initial, add())
+		}
+		for i := 0; i < p.Events; i++ {
+			doAdd := len(idle) > 0 && (len(active) == 0 || rng.Float64() < 0.6)
+			if doAdd {
+				pr := add()
+				tl.Events = append(tl.Events, TimelineEvent{Op: EventAdd, U: pr[0], V: pr[1]})
+			} else if len(active) > 0 {
+				pr := remove()
+				tl.Events = append(tl.Events, TimelineEvent{Op: EventRemove, U: pr[0], V: pr[1]})
+			}
+		}
+		return &GeneratedTimeline{Timeline: tl, Planted: gen.Planted, PlantedWeight: gen.PlantedWeight}, nil
+	}
+}
+
+// mixSeed decorrelates the event stream from the base generator's
+// randomness (SplitMix64 finalizer).
+func mixSeed(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	s := int64(z ^ (z >> 31))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// candidatePairs builds the pool timeline events draw from. With a
+// planted base it is every within-tree pair (keeping the planted forest
+// feasible for any active subset); otherwise it is up to K+Events
+// distinct random pairs.
+func candidatePairs(gen *Generated, p TimelineParams, rng *rand.Rand) [][2]int {
+	var pool [][2]int
+	if gen.Planted != nil {
+		comps := gen.Instance.Components()
+		labels := make([]int, 0, len(comps))
+		for l := range comps {
+			labels = append(labels, l)
+		}
+		sort.Ints(labels)
+		for _, l := range labels {
+			members := comps[l]
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					pool = append(pool, [2]int{members[i], members[j]})
+				}
+			}
+		}
+		return pool
+	}
+	n := gen.Instance.G.N()
+	want := p.K + p.Events
+	if maxPairs := n * (n - 1) / 2; want > maxPairs {
+		want = maxPairs
+	}
+	seen := make(map[[2]int]bool)
+	for attempts := 0; len(pool) < want && attempts < 100*want+100; attempts++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pool = append(pool, key)
+	}
+	return pool
+}

@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// MaxEvents caps a decoded timeline's event count, like MaxNodes and
+// MaxEdges bound the graph: decoding is O(n + m + events), so a tiny
+// file must not be able to declare an absurd stream.
+const MaxEvents = 1 << 20
+
+// jsonTimeline is the timeline JSON wire form (0-based node ids).
+type jsonTimeline struct {
+	N       int                 `json:"n"`
+	Edges   [][3]int64          `json:"edges"`
+	Initial [][2]int            `json:"initial,omitempty"`
+	Events  []jsonTimelineEvent `json:"events,omitempty"`
+}
+
+type jsonTimelineEvent struct {
+	Op string `json:"op"` // "add" or "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// buildTimeline validates a decoded timeline description (0-based node
+// ids) and assembles it, sharing the instance decoder's graph checks.
+func buildTimeline(n int, edges [][3]int64, initial [][2]int, events []TimelineEvent) (*Timeline, error) {
+	if len(events) > MaxEvents {
+		return nil, fmt.Errorf("workload: %d events exceed the %d cap", len(events), MaxEvents)
+	}
+	ins, err := buildInstance(n, edges, nil)
+	if err != nil {
+		return nil, err
+	}
+	tl := &Timeline{G: ins.G, Initial: initial, Events: events}
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	return tl, nil
+}
+
+// ReadTimeline decodes a timeline from r, sniffing the format the same
+// way ReadInstance does: a leading '{' means JSON, anything else the
+// text form ("p tl" problem line, "q" initial-pair lines, "t +"/"t -"
+// event lines). It never panics, whatever the bytes.
+func ReadTimeline(r io.Reader) (*Timeline, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read timeline: %w", err)
+	}
+	if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+		return readTimelineJSON(data)
+	}
+	return readTimelineText(data)
+}
+
+func readTimelineJSON(data []byte) (*Timeline, error) {
+	var jt jsonTimeline
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("workload: json timeline: %w", err)
+	}
+	events := make([]TimelineEvent, 0, len(jt.Events))
+	for i, ev := range jt.Events {
+		var op EventOp
+		switch ev.Op {
+		case "add":
+			op = EventAdd
+		case "remove":
+			op = EventRemove
+		default:
+			return nil, fmt.Errorf("workload: json timeline: event %d has op %q (want %q or %q)", i, ev.Op, "add", "remove")
+		}
+		events = append(events, TimelineEvent{Op: op, U: ev.U, V: ev.V})
+	}
+	return buildTimeline(jt.N, jt.Edges, jt.Initial, events)
+}
+
+func readTimelineText(data []byte) (*Timeline, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		n, m, nev int
+		sawP      bool
+		edges     [][3]int64
+		initial   [][2]int
+		events    []TimelineEvent
+		lineNum   int
+	)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("workload: text timeline line %d: %s", lineNum, fmt.Sprintf(format, args...))
+	}
+	parsePair := func(fu, fv string) (int, int, error) {
+		u, err1 := strconv.Atoi(fu)
+		v, err2 := strconv.Atoi(fv)
+		if err1 != nil || err2 != nil {
+			return 0, 0, fmt.Errorf("bad pair %q %q", fu, fv)
+		}
+		return u - 1, v - 1, nil
+	}
+	for sc.Scan() {
+		lineNum++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			continue
+		case "p":
+			if sawP {
+				return nil, fail("second problem line")
+			}
+			if len(fields) != 5 || fields[1] != "tl" {
+				return nil, fail("want %q, got %q", "p tl <n> <m> <events>", sc.Text())
+			}
+			var err1, err2, err3 error
+			n, err1 = strconv.Atoi(fields[2])
+			m, err2 = strconv.Atoi(fields[3])
+			nev, err3 = strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil || n < 0 || m < 0 || nev < 0 {
+				return nil, fail("bad sizes %q %q %q", fields[2], fields[3], fields[4])
+			}
+			if n > MaxNodes || m > MaxEdges || nev > MaxEvents {
+				return nil, fail("sizes %d/%d/%d exceed caps %d/%d/%d", n, m, nev, MaxNodes, MaxEdges, MaxEvents)
+			}
+			sawP = true
+		case "e":
+			if !sawP {
+				return nil, fail("edge before problem line")
+			}
+			if len(fields) != 4 {
+				return nil, fail("want %q, got %q", "e <u> <v> <w>", sc.Text())
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 64)
+			v, err2 := strconv.ParseInt(fields[2], 10, 64)
+			w, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("bad edge %q", sc.Text())
+			}
+			if len(edges) >= m {
+				return nil, fail("more than the declared %d edges", m)
+			}
+			edges = append(edges, [3]int64{u - 1, v - 1, w})
+		case "q":
+			if !sawP {
+				return nil, fail("initial pair before problem line")
+			}
+			if len(fields) != 3 {
+				return nil, fail("want %q, got %q", "q <u> <v>", sc.Text())
+			}
+			u, v, err := parsePair(fields[1], fields[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			initial = append(initial, [2]int{u, v})
+		case "t":
+			if !sawP {
+				return nil, fail("event before problem line")
+			}
+			if len(fields) != 4 {
+				return nil, fail("want %q, got %q", "t +|- <u> <v>", sc.Text())
+			}
+			var op EventOp
+			switch fields[1] {
+			case "+":
+				op = EventAdd
+			case "-":
+				op = EventRemove
+			default:
+				return nil, fail("bad event op %q (want %q or %q)", fields[1], "+", "-")
+			}
+			u, v, err := parsePair(fields[2], fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if len(events) >= nev {
+				return nil, fail("more than the declared %d events", nev)
+			}
+			events = append(events, TimelineEvent{Op: op, U: u, V: v})
+		default:
+			return nil, fail("unknown line type %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: text timeline: %w", err)
+	}
+	if !sawP {
+		return nil, fmt.Errorf("workload: text timeline: no problem line")
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("workload: text timeline: %d edge lines, problem line declared %d", len(edges), m)
+	}
+	if len(events) != nev {
+		return nil, fmt.Errorf("workload: text timeline: %d event lines, problem line declared %d", len(events), nev)
+	}
+	return buildTimeline(n, edges, initial, events)
+}
+
+// WriteTimeline encodes tl to w in the given format. Write followed by
+// ReadTimeline reproduces the timeline exactly: same graph, same
+// initial pairs, same event stream.
+func WriteTimeline(w io.Writer, tl *Timeline, format Format) error {
+	if err := tl.Validate(); err != nil {
+		return err
+	}
+	switch format {
+	case FormatJSON:
+		jt := jsonTimeline{N: tl.G.N(), Edges: make([][3]int64, 0, tl.G.M()), Initial: tl.Initial}
+		for _, e := range tl.G.Edges() {
+			jt.Edges = append(jt.Edges, [3]int64{int64(e.U), int64(e.V), e.Weight})
+		}
+		for _, ev := range tl.Events {
+			op := "add"
+			if ev.Op == EventRemove {
+				op = "remove"
+			}
+			jt.Events = append(jt.Events, jsonTimelineEvent{Op: op, U: ev.U, V: ev.V})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(&jt)
+	case FormatText:
+		bw := bufio.NewWriter(w)
+		fmt.Fprintf(bw, "c steinerforest demand timeline (pairs=%d, events=%d)\n",
+			len(tl.Initial), len(tl.Events))
+		fmt.Fprintf(bw, "p tl %d %d %d\n", tl.G.N(), tl.G.M(), len(tl.Events))
+		for _, e := range tl.G.Edges() {
+			fmt.Fprintf(bw, "e %d %d %d\n", e.U+1, e.V+1, e.Weight)
+		}
+		for _, p := range tl.Initial {
+			fmt.Fprintf(bw, "q %d %d\n", p[0]+1, p[1]+1)
+		}
+		for _, ev := range tl.Events {
+			fmt.Fprintf(bw, "t %s %d %d\n", ev.Op, ev.U+1, ev.V+1)
+		}
+		return bw.Flush()
+	default:
+		return fmt.Errorf("workload: unknown format %d", format)
+	}
+}
+
+// ReadTimelineFile reads a timeline from path (format sniffed from the
+// content, so the extension is advisory).
+func ReadTimelineFile(path string) (*Timeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTimeline(f)
+}
+
+// WriteTimelineFile writes tl to path in the format chosen by
+// FormatForPath.
+func WriteTimelineFile(path string, tl *Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTimeline(f, tl, FormatForPath(path)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"steinerforest/internal/graph"
+	"steinerforest/internal/steiner"
+)
+
+// TestTimelineFamiliesValid generates every registered timeline family
+// and checks structural validity plus the planted-bound contract: with a
+// planted base, the planted forest must stay feasible after every event
+// prefix (that is what makes PlantedWeight an OPT upper bound per step).
+func TestTimelineFamiliesValid(t *testing.T) {
+	for _, name := range TimelineNames() {
+		out, err := GenerateTimeline(name, TimelineParams{Params: Params{N: 40, K: 3, Seed: 7}, Events: 20})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tl := out.Timeline
+		if err := tl.Validate(); err != nil {
+			t.Fatalf("%s: invalid timeline: %v", name, err)
+		}
+		if len(tl.Initial) == 0 || len(tl.Events) == 0 {
+			t.Fatalf("%s: degenerate timeline: %d initial, %d events", name, len(tl.Initial), len(tl.Events))
+		}
+		if out.Planted == nil {
+			continue
+		}
+		req := steiner.NewRequests(tl.G)
+		for _, p := range tl.Initial {
+			req.Add(p[0], p[1])
+		}
+		counts := map[[2]int]int{}
+		for _, p := range tl.Initial {
+			counts[normPair(p[0], p[1])]++
+		}
+		for i, ev := range tl.Events {
+			key := normPair(ev.U, ev.V)
+			if ev.Op == EventAdd {
+				counts[key]++
+			} else {
+				counts[key]--
+			}
+			cur := steiner.NewRequests(tl.G)
+			for p, c := range counts {
+				if c > 0 {
+					cur.Add(p[0], p[1])
+				}
+			}
+			if err := steiner.Verify(cur.ToInstance(), out.Planted); err != nil {
+				t.Fatalf("%s: planted forest infeasible after event %d: %v", name, i, err)
+			}
+		}
+	}
+}
+
+func normPair(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// TestTimelineDeterministic pins generation as a pure function of the
+// parameters.
+func TestTimelineDeterministic(t *testing.T) {
+	for _, name := range TimelineNames() {
+		p := TimelineParams{Params: Params{N: 36, K: 2, Seed: 11}, Events: 16}
+		a, err1 := GenerateTimeline(name, p)
+		b, err2 := GenerateTimeline(name, p)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(a.Timeline.Initial, b.Timeline.Initial) ||
+			!reflect.DeepEqual(a.Timeline.Events, b.Timeline.Events) {
+			t.Fatalf("%s: same params, different timelines", name)
+		}
+		c, err := GenerateTimeline(name, TimelineParams{Params: Params{N: 36, K: 2, Seed: 12}, Events: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reflect.DeepEqual(a.Timeline.Events, c.Timeline.Events) {
+			t.Fatalf("%s: seeds 11 and 12 produced identical event streams", name)
+		}
+	}
+}
+
+// TestTimelineRoundTrip pins Write-then-Read identity in both formats.
+func TestTimelineRoundTrip(t *testing.T) {
+	out, err := GenerateTimeline("churn-gnp", TimelineParams{Params: Params{N: 24, K: 2, Seed: 3}, Events: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []Format{FormatText, FormatJSON} {
+		var buf bytes.Buffer
+		if err := WriteTimeline(&buf, out.Timeline, format); err != nil {
+			t.Fatalf("format %d: write: %v", format, err)
+		}
+		got, err := ReadTimeline(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("format %d: read: %v", format, err)
+		}
+		if got.G.N() != out.Timeline.G.N() || got.G.M() != out.Timeline.G.M() {
+			t.Fatalf("format %d: graph size drifted", format)
+		}
+		for i := 0; i < got.G.M(); i++ {
+			a, b := got.G.Edge(i), out.Timeline.G.Edge(i)
+			if a != b {
+				t.Fatalf("format %d: edge %d drifted: %v vs %v", format, i, a, b)
+			}
+		}
+		if !reflect.DeepEqual(got.Initial, out.Timeline.Initial) {
+			t.Fatalf("format %d: initial pairs drifted", format)
+		}
+		if !reflect.DeepEqual(got.Events, out.Timeline.Events) {
+			t.Fatalf("format %d: events drifted", format)
+		}
+	}
+}
+
+// TestTimelineValidateRejects pins the validation failure modes.
+func TestTimelineValidateRejects(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	cases := []struct {
+		name string
+		tl   Timeline
+		want string
+	}{
+		{"self pair", Timeline{G: g, Initial: [][2]int{{1, 1}}}, "self-pair"},
+		{"out of range", Timeline{G: g, Initial: [][2]int{{0, 9}}}, "out of range"},
+		{"remove inactive", Timeline{G: g, Events: []TimelineEvent{{Op: EventRemove, U: 0, V: 1}}}, "inactive"},
+		{"remove twice", Timeline{G: g, Initial: [][2]int{{0, 1}}, Events: []TimelineEvent{
+			{Op: EventRemove, U: 0, V: 1}, {Op: EventRemove, U: 1, V: 0}}}, "inactive"},
+	}
+	for _, tc := range cases {
+		err := tc.tl.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Timeline{G: g, Initial: [][2]int{{0, 1}, {0, 1}}, Events: []TimelineEvent{
+		{Op: EventRemove, U: 0, V: 1}, {Op: EventRemove, U: 1, V: 0}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("double-add double-remove should be valid: %v", err)
+	}
+}
+
+// TestTimelineTextRejects pins decoder failure modes unique to the
+// timeline text format.
+func TestTimelineTextRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad op", "p tl 3 1 1\ne 1 2 1\nt * 1 2\n", "bad event op"},
+		{"undeclared event", "p tl 3 1 0\ne 1 2 1\nt + 1 2\n", "more than the declared 0 events"},
+		{"missing events", "p tl 3 1 2\ne 1 2 1\nt + 1 2\n", "problem line declared 2"},
+		{"instance problem line", "p sf 3 1\ne 1 2 1\n", `want "p tl`},
+	}
+	for _, tc := range cases {
+		_, err := ReadTimeline(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}

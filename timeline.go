@@ -1,0 +1,258 @@
+package steinerforest
+
+import (
+	"fmt"
+	"sort"
+
+	"steinerforest/internal/congest"
+	"steinerforest/internal/moat"
+	"steinerforest/internal/steiner"
+	"steinerforest/internal/workload"
+)
+
+// DemandSet tracks the active connection-pair multiset of a dynamic
+// instance over one fixed graph. Instance() converts the current state
+// through the canonical DSF-CR→DSF-IC transformation (Lemma 2.3), which
+// depends only on the active set — never on the order of the adds and
+// removes that produced it — so the `full` policy's per-event solves are
+// bit-identical to standalone Solve calls on the same demands.
+type DemandSet struct {
+	g      *Graph
+	counts map[[2]int]int
+}
+
+// NewDemandSet returns an empty demand set over g.
+func NewDemandSet(g *Graph) *DemandSet {
+	return &DemandSet{g: g, counts: make(map[[2]int]int)}
+}
+
+// Add activates one connection request between u and v.
+func (d *DemandSet) Add(u, v int) error {
+	key, err := workload.NormalizePair(d.g.N(), u, v)
+	if err != nil {
+		return err
+	}
+	d.counts[key]++
+	return nil
+}
+
+// Remove retires one activation of the pair {u, v}; removing a pair
+// that is not active is an error (the demand state is left unchanged).
+func (d *DemandSet) Remove(u, v int) error {
+	key, err := workload.NormalizePair(d.g.N(), u, v)
+	if err != nil {
+		return err
+	}
+	if d.counts[key] == 0 {
+		return fmt.Errorf("steinerforest: remove of inactive pair {%d,%d}", u, v)
+	}
+	d.counts[key]--
+	if d.counts[key] == 0 {
+		delete(d.counts, key)
+	}
+	return nil
+}
+
+// Apply applies one timeline event.
+func (d *DemandSet) Apply(ev workload.TimelineEvent) error {
+	switch ev.Op {
+	case workload.EventAdd:
+		return d.Add(ev.U, ev.V)
+	case workload.EventRemove:
+		return d.Remove(ev.U, ev.V)
+	default:
+		return fmt.Errorf("steinerforest: unknown event op %d", int(ev.Op))
+	}
+}
+
+// Pairs returns the distinct active pairs, sorted.
+func (d *DemandSet) Pairs() [][2]int {
+	pairs := make([][2]int, 0, len(d.counts))
+	for p := range d.counts {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// Len returns the number of distinct active pairs.
+func (d *DemandSet) Len() int { return len(d.counts) }
+
+// Clone returns an independent copy sharing the graph.
+func (d *DemandSet) Clone() *DemandSet {
+	out := NewDemandSet(d.g)
+	for k, v := range d.counts {
+		out.counts[k] = v
+	}
+	return out
+}
+
+// Instance converts the current demand state into its canonical DSF-IC
+// instance.
+func (d *DemandSet) Instance() *Instance {
+	req := steiner.NewRequests(d.g)
+	for _, p := range d.Pairs() {
+		req.Add(p[0], p[1])
+	}
+	return req.ToInstance()
+}
+
+// EventResult records one timeline event's outcome: what the policy
+// paid (rounds/messages/bits; Resolved for a full re-solve, Patched for
+// a delta run) and where it landed (the standing forest's weight, with
+// the dual lower bound when certificates are on).
+type EventResult struct {
+	Event    workload.TimelineEvent
+	Resolved bool
+	Patched  bool
+	Rounds   int
+	Messages int64
+	Bits     int64
+	Weight   int64
+	// Forest is an independent snapshot of the standing forest after
+	// this event.
+	Forest *Solution
+	// LowerBound is the moat-growing dual on the cumulative instance
+	// (set when the Spec kept certificates on).
+	LowerBound float64
+	Certified  bool
+}
+
+// TimelineResult is SolveTimeline's outcome: the bootstrap solve of the
+// initial demands, one EventResult per event, and totals.
+type TimelineResult struct {
+	Policy    string
+	Bootstrap *Result // nil when the timeline starts with no demands
+	Events    []EventResult
+
+	Final       *Solution
+	FinalWeight int64
+
+	// Totals over the event stream (the bootstrap solve is excluded:
+	// every policy pays it identically).
+	TotalRounds   int
+	TotalMessages int64
+	TotalBits     int64
+	Resolves      int
+	Patches       int
+}
+
+// SolveTimeline drives a re-solve policy down a demand timeline: a full
+// bootstrap solve of the initial pairs, then one policy step per event.
+// One warm arena pool (spec.Arena, or a fresh one) persists across all
+// runs, so the engine's restart path is exercised exactly as serve mode
+// exercises it; results are bit-identical pooled or not. The policy's
+// solver runs always skip the certificate oracle — when spec keeps
+// certificates on, the oracle runs once per event on the cumulative
+// instance instead, which is precisely what a standalone certified Solve
+// would have computed. Every returned forest has been verified feasible
+// for its step's demand set; an infeasible policy answer is an error.
+func SolveTimeline(tl *workload.Timeline, spec Spec, pol Policy) (*TimelineResult, error) {
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil {
+		pol = fullPolicy{}
+	}
+	tl.G.Freeze()
+
+	runSpec := spec
+	runSpec.NoCertificate = true
+	if runSpec.Arena == nil {
+		runSpec.Arena = congest.NewArenaPool()
+	}
+
+	ds := NewDemandSet(tl.G)
+	for i, p := range tl.Initial {
+		if err := ds.Add(p[0], p[1]); err != nil {
+			return nil, fmt.Errorf("steinerforest: initial pair %d: %w", i, err)
+		}
+	}
+
+	tr := &TimelineResult{Policy: pol.Name()}
+	var standing *Solution
+	if ds.Len() > 0 {
+		ins := ds.Instance()
+		res, err := Solve(ins, runSpec)
+		if err != nil {
+			return nil, fmt.Errorf("steinerforest: timeline bootstrap: %w", err)
+		}
+		if err := certify(ins, res, spec); err != nil {
+			return nil, err
+		}
+		standing = res.Solution
+		tr.Bootstrap = res
+	}
+
+	for i, ev := range tl.Events {
+		if err := ds.Apply(ev); err != nil {
+			return nil, fmt.Errorf("steinerforest: timeline event %d: %w", i, err)
+		}
+		cum := ds.Instance()
+		out, err := pol.Step(PolicyStep{Ins: cum, Standing: standing, Event: ev, Index: i, Spec: runSpec})
+		if err != nil {
+			return nil, fmt.Errorf("steinerforest: policy %q at event %d: %w", pol.Name(), i, err)
+		}
+		if out.Forest == nil {
+			return nil, fmt.Errorf("steinerforest: policy %q returned no forest at event %d", pol.Name(), i)
+		}
+		if err := steiner.Verify(cum, out.Forest); err != nil {
+			return nil, fmt.Errorf("steinerforest: policy %q infeasible after event %d: %w", pol.Name(), i, err)
+		}
+		standing = out.Forest
+		er := EventResult{
+			Event: ev, Resolved: out.Resolved, Patched: out.Patched,
+			Rounds: out.Rounds, Messages: out.Messages, Bits: out.Bits,
+			Weight: standing.Weight(tl.G), Forest: standing.Clone(),
+		}
+		if !spec.NoCertificate {
+			oracle, err := moat.SolveAKR(cum)
+			if err != nil {
+				return nil, fmt.Errorf("steinerforest: timeline certificate at event %d: %w", i, err)
+			}
+			er.LowerBound = oracle.DualSum.Float()
+			er.Certified = true
+		}
+		tr.Events = append(tr.Events, er)
+		tr.TotalRounds += out.Rounds
+		tr.TotalMessages += out.Messages
+		tr.TotalBits += out.Bits
+		if out.Resolved {
+			tr.Resolves++
+		}
+		if out.Patched {
+			tr.Patches++
+		}
+	}
+
+	tr.Final = standing
+	if standing != nil {
+		tr.FinalWeight = standing.Weight(tl.G)
+	}
+	return tr, nil
+}
+
+// certify replays Solve's certificate step for a result produced with
+// NoCertificate forced on: when the caller's spec wanted the oracle, run
+// it on the same instance so the Result is bit-identical to what a
+// standalone certified Solve would have returned.
+func certify(ins *Instance, res *Result, spec Spec) error {
+	if spec.NoCertificate || res.Certified {
+		return nil
+	}
+	oracle, err := moat.SolveAKR(ins)
+	if err != nil {
+		return err
+	}
+	res.LowerBound = oracle.DualSum.Float()
+	res.Certified = true
+	return nil
+}

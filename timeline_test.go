@@ -1,0 +1,209 @@
+package steinerforest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"steinerforest/internal/steiner"
+	"steinerforest/internal/workload"
+)
+
+func genTimeline(t *testing.T, family string, p workload.TimelineParams) *workload.GeneratedTimeline {
+	t.Helper()
+	out, err := workload.GenerateTimeline(family, p)
+	if err != nil {
+		t.Fatalf("generate %s: %v", family, err)
+	}
+	return out
+}
+
+// TestFullPolicyBitIdenticalToStandalone is the tentpole pin: at every
+// timeline step, the `full` policy's result — forest, weight, rounds,
+// messages, bits, and the dual certificate — must be bit-identical to a
+// standalone Solve on the cumulative demand set, warm arena pool and
+// all. The demand state is replayed independently here so the
+// comparison instance is built from scratch each step.
+func TestFullPolicyBitIdenticalToStandalone(t *testing.T) {
+	for _, algo := range []string{"det", "rand"} {
+		gen := genTimeline(t, "churn-gnp", workload.TimelineParams{
+			Params: workload.Params{N: 32, K: 3, Seed: 19}, Events: 14,
+		})
+		spec := Spec{Algorithm: algo, Seed: 77}
+		pol, err := ParsePolicy("full")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := SolveTimeline(gen.Timeline, spec, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(tr.Events) != len(gen.Timeline.Events) {
+			t.Fatalf("%s: %d event results for %d events", algo, len(tr.Events), len(gen.Timeline.Events))
+		}
+
+		ds := NewDemandSet(gen.Timeline.G)
+		for _, p := range gen.Timeline.Initial {
+			if err := ds.Add(p[0], p[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref, err := Solve(ds.Instance(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Bootstrap == nil {
+			t.Fatalf("%s: no bootstrap result", algo)
+		}
+		if !reflect.DeepEqual(tr.Bootstrap.Solution.Selected, ref.Solution.Selected) ||
+			tr.Bootstrap.Weight != ref.Weight || tr.Bootstrap.LowerBound != ref.LowerBound ||
+			tr.Bootstrap.Certified != ref.Certified {
+			t.Fatalf("%s: bootstrap drifted from standalone Solve", algo)
+		}
+
+		for i, ev := range gen.Timeline.Events {
+			if err := ds.Apply(ev); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Solve(ds.Instance(), spec)
+			if err != nil {
+				t.Fatalf("%s: standalone solve at event %d: %v", algo, i, err)
+			}
+			got := tr.Events[i]
+			if !got.Resolved {
+				t.Fatalf("%s: full policy did not resolve at event %d", algo, i)
+			}
+			if !reflect.DeepEqual(got.Forest.Selected, ref.Solution.Selected) {
+				t.Fatalf("%s: event %d forest drifted from standalone Solve", algo, i)
+			}
+			if got.Weight != ref.Weight {
+				t.Fatalf("%s: event %d weight %d, standalone %d", algo, i, got.Weight, ref.Weight)
+			}
+			if ref.Stats != nil && (got.Rounds != ref.Stats.Rounds ||
+				got.Messages != ref.Stats.Messages || got.Bits != ref.Stats.Bits) {
+				t.Fatalf("%s: event %d cost (%d r, %d msg, %d bits) vs standalone (%d, %d, %d)",
+					algo, i, got.Rounds, got.Messages, got.Bits,
+					ref.Stats.Rounds, ref.Stats.Messages, ref.Stats.Bits)
+			}
+			if !got.Certified || got.LowerBound != ref.LowerBound {
+				t.Fatalf("%s: event %d certificate drifted: %v/%f vs %v/%f",
+					algo, i, got.Certified, got.LowerBound, ref.Certified, ref.LowerBound)
+			}
+		}
+	}
+}
+
+// TestSolveTimelineDeterministic pins repeat-run determinism per seed
+// for every policy.
+func TestSolveTimelineDeterministic(t *testing.T) {
+	gen := genTimeline(t, "churn-grid2d", workload.TimelineParams{
+		Params: workload.Params{N: 36, K: 3, Seed: 5}, Events: 12,
+	})
+	for _, name := range []string{"full", "repair", "every-k:3"} {
+		pol, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := Spec{Algorithm: "det", NoCertificate: true, Seed: 2}
+		a, err1 := SolveTimeline(gen.Timeline, spec, pol)
+		b, err2 := SolveTimeline(gen.Timeline, spec, pol)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", name, err1, err2)
+		}
+		if a.FinalWeight != b.FinalWeight || a.TotalRounds != b.TotalRounds ||
+			a.TotalMessages != b.TotalMessages || a.Resolves != b.Resolves || a.Patches != b.Patches {
+			t.Fatalf("%s: repeat runs diverged", name)
+		}
+		for i := range a.Events {
+			if !reflect.DeepEqual(a.Events[i].Forest.Selected, b.Events[i].Forest.Selected) {
+				t.Fatalf("%s: event %d forest diverged between runs", name, i)
+			}
+		}
+	}
+}
+
+// TestEveryK1EquivalentToFull pins the degenerate batch size: every-k:1
+// re-solves on every event, so its per-event forests match full's.
+func TestEveryK1EquivalentToFull(t *testing.T) {
+	gen := genTimeline(t, "churn-gnp", workload.TimelineParams{
+		Params: workload.Params{N: 28, K: 2, Seed: 9}, Events: 10,
+	})
+	spec := Spec{Algorithm: "det", NoCertificate: true}
+	full, err := SolveTimeline(gen.Timeline, spec, mustPolicy(t, "full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := SolveTimeline(gen.Timeline, spec, mustPolicy(t, "every-k:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Events {
+		if !reflect.DeepEqual(full.Events[i].Forest.Selected, k1.Events[i].Forest.Selected) {
+			t.Fatalf("event %d: every-k:1 diverged from full", i)
+		}
+	}
+	if k1.Resolves != len(k1.Events) {
+		t.Fatalf("every-k:1 resolved %d of %d events", k1.Resolves, len(k1.Events))
+	}
+}
+
+// TestDemandSetOrderIndependence pins what makes `full` reproducible:
+// the canonical instance depends only on the active multiset, not the
+// event order that reached it.
+func TestDemandSetOrderIndependence(t *testing.T) {
+	g := NewGraph(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	a := NewDemandSet(g)
+	for _, p := range [][2]int{{0, 3}, {1, 4}, {2, 5}} {
+		if err := a.Add(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Remove(4, 1); err != nil { // reversed endpoints on purpose
+		t.Fatal(err)
+	}
+
+	b := NewDemandSet(g)
+	if err := b.Add(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Instance().Label, b.Instance().Label) {
+		t.Fatal("histories with equal active sets produced different instances")
+	}
+	if err := b.Remove(0, 1); err == nil || !strings.Contains(err.Error(), "inactive") {
+		t.Fatalf("remove of inactive pair: got %v", err)
+	}
+}
+
+func mustPolicy(t *testing.T, s string) Policy {
+	t.Helper()
+	p, err := ParsePolicy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestTimelineFeasibilityGuard pins the driver's defense: a policy that
+// returns an infeasible forest is an error, not a silent bad result.
+type brokenPolicy struct{}
+
+func (brokenPolicy) Name() string { return "broken" }
+func (brokenPolicy) Step(st PolicyStep) (StepOutcome, error) {
+	return StepOutcome{Forest: steiner.NewSolution(st.Ins.G)}, nil
+}
+
+func TestTimelineFeasibilityGuard(t *testing.T) {
+	gen := genTimeline(t, "churn-gnp", workload.TimelineParams{
+		Params: workload.Params{N: 20, K: 2, Seed: 4}, Events: 6,
+	})
+	_, err := SolveTimeline(gen.Timeline, Spec{NoCertificate: true}, brokenPolicy{})
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("got %v, want infeasibility error", err)
+	}
+}
