@@ -8,6 +8,8 @@
 #   make bench-gate       - bench smoke + committed-snapshot drift gate
 #   make smoke            - end-to-end CLI smoke (local ci only)
 #   make serve-smoke      - dsfserve self-test: closed-loop trace over HTTP
+#   make chaos-smoke      - dsfserve robustness self-test: deterministic
+#                           panic/deadline/cancel-storm fault injection
 
 GO ?= go
 
@@ -23,9 +25,9 @@ TOLERANCE ?= 25
 # past this.
 MEMTOLERANCE ?= 25
 
-.PHONY: ci build vet test race fuzz-smoke bench baseline snapshot bench-smoke bench-compare bench-gate smoke serve-smoke
+.PHONY: ci build vet test race fuzz-smoke bench baseline snapshot bench-smoke bench-compare bench-gate smoke serve-smoke chaos-smoke
 
-ci: build vet test race fuzz-smoke smoke serve-smoke bench-gate
+ci: build vet test race fuzz-smoke smoke serve-smoke chaos-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -33,11 +35,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Explicit -timeout: the default 10m hides a wedged cancellation or
+# shutdown path behind a long hang; a deadlock in these suites should
+# fail fast with goroutine dumps instead.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 5m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 8m ./...
 
 # Short fuzz smoke: the instance parser and the wire item codec must
 # survive fresh fuzz input on every CI run, not just the checked-in
@@ -61,7 +66,7 @@ baseline:
 	$(GO) run ./cmd/dsfbench -json > BENCH_baseline.json
 
 snapshot:
-	$(GO) run ./cmd/dsfbench -json > BENCH_pr9.json
+	$(GO) run ./cmd/dsfbench -json > BENCH_pr10.json
 
 # Short-mode run of the scheduler experiments: asserts the fast paths
 # (E2) and the continuation scheduler (E3) stay bit-identical to their
@@ -73,6 +78,7 @@ bench-smoke:
 	$(GO) run ./cmd/dsfbench -quick -table s1 -json >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table s2 -json >/dev/null
 	$(GO) run ./cmd/dsfbench -quick -table d1 -json >/dev/null
+	$(GO) run ./cmd/dsfbench -quick -table r1 -json >/dev/null
 
 # Gate perf changes against the committed snapshots: the correctness
 # columns (rounds, weights, ratios, feasibility) must match exactly; the
@@ -89,11 +95,11 @@ bench-smoke:
 # nonzero child exit to 1 and the 3-vs-1 distinction would be lost.
 bench-compare:
 	@$(GO) build -o bench-gate.bin ./cmd/dsfbench; \
-	./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr9.json; \
+	./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr10.json; \
 	status=$$?; \
 	if [ $$status -eq 3 ]; then \
 		echo "bench-compare: timing-only regression (correctness cells clean); retrying once"; \
-		./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr9.json; \
+		./bench-gate.bin -compare -tolerance $(TOLERANCE) -memtolerance $(MEMTOLERANCE) -report bench-compare-report.txt BENCH_baseline.json BENCH_pr10.json; \
 		status=$$?; \
 	fi; \
 	rm -f bench-gate.bin; \
@@ -119,3 +125,10 @@ smoke:
 # and p99 latency (generous bound: CI runners are slow and shared).
 serve-smoke:
 	$(GO) run ./cmd/dsfserve -smoke -smokereqs 64 -smokep99 5000
+
+# Robustness self-test: deterministic fault injection (internal/chaos)
+# against live servers — panic isolation + quarantine, deadline eviction,
+# and a seeded cancel storm, with post-fault answers asserted
+# bit-identical to a chaos-free reference.
+chaos-smoke:
+	$(GO) run ./cmd/dsfserve -chaos-smoke

@@ -8,9 +8,11 @@
 //
 //	dsfserve [-addr :8080] [-depth 64] [-batch 16] [-window 2ms]
 //	         [-workers N] [-retryafter 1s] [-cachemb 64] [-nocache]
+//	         [-deadline 0] [-quarantine-after 3] [-shutdown-timeout 30s]
 //	         [-preload gnp,planted] [-n 64] [-k 3] [-maxw 64] [-seed 1]
 //	         [-in a.sfi,b.sfi]
 //	dsfserve -smoke [-smokereqs 64] [-smokep99 2000]
+//	dsfserve -chaos-smoke [-chaos-seed 1]
 //
 // Endpoints (versioned; the unversioned paths remain as aliases):
 //
@@ -33,14 +35,30 @@
 // All error responses share one JSON envelope:
 // {"error":{"code","message","retry_after_s"}}.
 //
+// Requests are cancellable end to end: a client disconnect, a deadline
+// (the X-Request-Deadline-Ms header, or the -deadline default), or the
+// shutdown force-abort stops the solve at its next simulated round
+// boundary (504 deadline_exceeded / 503 cancelled). A solver panic is
+// isolated to its batch slot (500 internal); -quarantine-after
+// consecutive panics quarantine the instance (503 quarantined; negative
+// disables).
+//
 // -smoke is the CI self-test: it starts the full server on an ephemeral
 // loopback port, replays a closed-loop trace over real HTTP, drives one
 // demand update and asserts the post-update solve is not served from the
 // stale cache, and exits nonzero unless every request succeeded (no
 // errors, no rejections) with p99 below -smokep99 milliseconds.
 //
+// -chaos-smoke is the robustness self-test: deterministic fault
+// injection (internal/chaos, seeded by -chaos-seed) replays
+// panic-quarantine, deadline-eviction, and cancel-storm scenarios
+// against live servers and asserts post-fault answers bit-identical to
+// a chaos-free reference.
+//
 // On SIGINT/SIGTERM the server drains: new requests get 503, every
-// admitted request is answered, then the process exits.
+// admitted request is answered, then the process exits. The drain is
+// bounded by -shutdown-timeout; past the budget, in-flight solves are
+// force-aborted at their next round boundary and answered cancelled.
 package main
 
 import (
@@ -86,10 +104,19 @@ func run() int {
 	maxw := flag.Int64("maxw", 64, "preloaded instance max edge weight")
 	seed := flag.Int64("seed", 1, "preloaded instance generation seed")
 	in := flag.String("in", "", "comma-separated instance files to preload (named by basename)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none; requests may override with X-Request-Deadline-Ms)")
+	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive solver panics before an instance is quarantined (negative disables)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "drain budget on SIGINT/SIGTERM; in-flight solves past it are force-aborted")
 	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, replay a closed-loop trace, assert p99 and zero errors")
 	smokeReqs := flag.Int("smokereqs", 64, "with -smoke: trace length")
 	smokeP99 := flag.Float64("smokep99", 2000, "with -smoke: max acceptable p99 latency in ms")
+	chaosSmoke := flag.Bool("chaos-smoke", false, "robustness self-test: deterministic panic/quarantine, deadline, and cancel-storm phases against in-process servers")
+	chaosSeed := flag.Int64("chaos-seed", 1, "with -chaos-smoke: fault-injection seed")
 	flag.Parse()
+
+	if *chaosSmoke {
+		return runChaosSmoke(*chaosSeed)
+	}
 
 	// Fail fast on a bad policy name instead of deferring to the first
 	// demand update.
@@ -99,14 +126,16 @@ func run() int {
 	}
 
 	srv := serve.New(serve.Config{
-		QueueDepth:   *depth,
-		MaxBatch:     *maxBatch,
-		BatchWindow:  *window,
-		Workers:      *workers,
-		RetryAfter:   *retryAfter,
-		CacheBytes:   *cacheMB << 20,
-		DisableCache: *noCache,
-		Policy:       *policy,
+		QueueDepth:      *depth,
+		MaxBatch:        *maxBatch,
+		BatchWindow:     *window,
+		Workers:         *workers,
+		RetryAfter:      *retryAfter,
+		CacheBytes:      *cacheMB << 20,
+		DisableCache:    *noCache,
+		Policy:          *policy,
+		DefaultDeadline: *deadline,
+		QuarantineAfter: *quarantineAfter,
 	})
 	for _, fam := range splitList(*preload) {
 		info, err := srv.GenerateInstance("", fam, workload.Params{N: *n, K: *k, MaxW: *maxw, Seed: *seed})
@@ -151,10 +180,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dsfserve:", err)
 		return 1
 	case s := <-sig:
-		fmt.Printf("dsfserve: %v: draining (new requests get 503, admitted requests are answered)\n", s)
-		// Stop admission and answer everything already queued, then let
-		// the HTTP server finish writing those responses.
-		srv.Shutdown()
+		fmt.Printf("dsfserve: %v: draining with %s budget (new requests get 503; solves past the budget are force-aborted)\n",
+			s, *shutdownTimeout)
+		// Stop admission and answer everything already queued — naturally
+		// within the budget, by round-boundary force-abort past it — then
+		// let the HTTP server finish writing those responses.
+		srv.ShutdownWithTimeout(*shutdownTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -39,6 +39,19 @@ func timingColumn(tableID, header string) bool {
 	if tableID == "S1" && (header == "ok" || header == "rejected") {
 		return true
 	}
+	// S1's retry count is tied 1:1 to the rejection count (every client
+	// retry is provoked by one 429), so it is load-dependent too.
+	if tableID == "S1" && header == "retries" {
+		return true
+	}
+	// R1's answered/cancelled split depends on real-time races between
+	// the deterministic cancel schedules and solve completions. The
+	// robustness assertions themselves (panic counts, quarantine,
+	// 504-on-miss, bit-identity of survivors) are exact-matched via the
+	// "panics" and "ok" columns.
+	if tableID == "R1" && (header == "answered" || header == "cancelled") {
+		return true
+	}
 	// S2's hit/collapse split depends on which identical requests are in
 	// flight together (a collapsed follower is neither hit nor miss), so
 	// the counters shift with real-time scheduling. The trace itself is

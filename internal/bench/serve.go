@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +25,9 @@ import (
 type LoadResult struct {
 	Requests  int
 	OK        int
-	Rejected  int // 429: admission queue full
+	Rejected  int // final answer 429 after any retries were exhausted
 	Errors    int // any other non-200 answer or transport failure
+	Retries   int // re-sends after a 429/503, when a RetryPolicy is active
 	P50, P99  float64
 	ElapsedMS float64
 	PerSec    float64 // OK / elapsed
@@ -36,28 +38,79 @@ type LoadResult struct {
 	Responses []*serve.SolveResponse
 }
 
-// postSolve sends one request and classifies the outcome.
-func postSolve(client *http.Client, url string, req serve.SolveRequest) (*serve.SolveResponse, int, error) {
+// RetryPolicy drives the load generators' backoff when the server sheds
+// load: a 429 (queue full) or 503 answer is retried up to Max times,
+// attempt n waiting max(server Retry-After hint, Base<<n) capped at Cap,
+// with deterministic ±50% jitter derived from (Seed, request, attempt) so
+// a retry storm never resynchronizes into the same overloaded instant.
+// Cap exists because the server hints in whole seconds — bench timescales
+// honor the hint's presence, bounded to the run's scale. The zero value
+// disables retries (every 429 is final), preserving pre-retry behavior.
+type RetryPolicy struct {
+	Max  int           // retries after the first attempt (0 = disabled)
+	Base time.Duration // first backoff step (default 1ms)
+	Cap  time.Duration // ceiling on any delay, hint included (0 = uncapped)
+	Seed int64
+}
+
+// delay computes the backoff before retry number attempt (0-based) of
+// request reqIdx, honoring the server's Retry-After hint in seconds.
+func (p RetryPolicy) delay(reqIdx, attempt, hintS int) time.Duration {
+	d := p.Base
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	d <<= attempt
+	if hint := time.Duration(hintS) * time.Second; hint > d {
+		d = hint
+	}
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	j := uint64(steinerforest.BatchSeed(p.Seed, reqIdx*31+attempt))
+	return d/2 + time.Duration(j%uint64(d))
+}
+
+// postSolve sends one request and classifies the outcome; on non-200 the
+// parsed Retry-After hint (whole seconds, 0 when absent) rides along.
+func postSolve(client *http.Client, url string, req serve.SolveRequest) (*serve.SolveResponse, int, int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	resp, err := client.Post(url+"/solve", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		// Drain so the connection is reusable.
 		var discard json.RawMessage
 		_ = json.NewDecoder(resp.Body).Decode(&discard)
-		return nil, resp.StatusCode, nil
+		hintS, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return nil, resp.StatusCode, hintS, nil
 	}
 	var out serve.SolveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return &out, http.StatusOK, nil
+	return &out, http.StatusOK, 0, nil
+}
+
+// postSolveRetry wraps postSolve with the policy's backoff loop and
+// reports how many retries were spent.
+func postSolveRetry(client *http.Client, url string, req serve.SolveRequest, pol RetryPolicy, reqIdx int) (*serve.SolveResponse, int, int, error) {
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		out, status, hintS, err := postSolve(client, url, req)
+		retryable := err == nil &&
+			(status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable)
+		if !retryable || attempt >= pol.Max {
+			return out, status, retries, err
+		}
+		retries++
+		time.Sleep(pol.delay(reqIdx, attempt, hintS))
+	}
 }
 
 func summarize(res *LoadResult, latencies []float64, elapsed time.Duration) {
@@ -83,6 +136,14 @@ func quantileMS(sorted []float64, q float64) float64 {
 // closed-loop generator). With clients <= the server's queue depth no
 // request can be rejected, so every response is collected.
 func ClosedLoopLoad(url string, reqs []serve.SolveRequest, clients int) LoadResult {
+	return ClosedLoopLoadRetry(url, reqs, clients, RetryPolicy{})
+}
+
+// ClosedLoopLoadRetry is ClosedLoopLoad with a backoff policy: a client
+// whose request is shed (429/503) waits out the policy's jittered delay
+// and re-sends before moving on, so Rejected counts only requests that
+// exhausted their retries.
+func ClosedLoopLoadRetry(url string, reqs []serve.SolveRequest, clients int, pol RetryPolicy) LoadResult {
 	res := LoadResult{Requests: len(reqs), Responses: make([]*serve.SolveResponse, len(reqs))}
 	latencies := make([]float64, len(reqs))
 	client := &http.Client{}
@@ -100,9 +161,10 @@ func ClosedLoopLoad(url string, reqs []serve.SolveRequest, clients int) LoadResu
 					return
 				}
 				t0 := time.Now()
-				out, status, err := postSolve(client, url, reqs[i])
+				out, status, retries, err := postSolveRetry(client, url, reqs[i], pol, i)
 				lat := float64(time.Since(t0).Microseconds()) / 1000.0
 				mu.Lock()
+				res.Retries += retries
 				switch {
 				case err != nil || (status != http.StatusOK && status != http.StatusTooManyRequests):
 					res.Errors++
@@ -129,6 +191,14 @@ func ClosedLoopLoad(url string, reqs []serve.SolveRequest, clients int) LoadResu
 // overflow is answered 429, which is exactly the graceful-degradation
 // behavior the S1 table measures.
 func OpenLoopLoad(url string, reqs []serve.SolveRequest, interval time.Duration) LoadResult {
+	return OpenLoopLoadRetry(url, reqs, interval, RetryPolicy{})
+}
+
+// OpenLoopLoadRetry is OpenLoopLoad with a backoff policy. The arrival
+// schedule is unaffected — each arrival's goroutine retries privately —
+// so offered load still does not adapt to capacity; only the shed
+// requests get their jittered second chances.
+func OpenLoopLoadRetry(url string, reqs []serve.SolveRequest, interval time.Duration, pol RetryPolicy) LoadResult {
 	res := LoadResult{Requests: len(reqs), Responses: make([]*serve.SolveResponse, len(reqs))}
 	latencies := make([]float64, len(reqs))
 	client := &http.Client{}
@@ -145,10 +215,11 @@ func OpenLoopLoad(url string, reqs []serve.SolveRequest, interval time.Duration)
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			out, status, err := postSolve(client, url, reqs[i])
+			out, status, retries, err := postSolveRetry(client, url, reqs[i], pol, i)
 			lat := float64(time.Since(t0).Microseconds()) / 1000.0
 			mu.Lock()
 			defer mu.Unlock()
+			res.Retries += retries
 			switch {
 			case err != nil || (status != http.StatusOK && status != http.StatusTooManyRequests):
 				res.Errors++
@@ -271,7 +342,7 @@ func S1(sc Scale) *Table {
 		ID:    "S1",
 		Title: "serve mode: trace-driven load, closed- and open-loop",
 		Claim: "engineering: bounded admission (429 + Retry-After) degrades gracefully under overload; batched serving stays bit-identical to per-request solving",
-		Header: []string{"mode", "load", "depth", "requests", "ok", "rejected",
+		Header: []string{"mode", "load", "depth", "requests", "ok", "rejected", "retries",
 			"ms(p50)", "ms(p99)", "req/s", "identical"},
 	}
 	n := 48 / int(sc)
@@ -320,17 +391,19 @@ func S1(sc Scale) *Table {
 			tab.Failed = true
 		}
 		tab.Rows = append(tab.Rows, []string{
-			mode, load, d(cfg.QueueDepth), d(res.Requests), d(res.OK), d(res.Rejected),
+			mode, load, d(cfg.QueueDepth), d(res.Requests), d(res.OK), d(res.Rejected), d(res.Retries),
 			f(res.P50), f(res.P99), f(res.PerSec), fmt.Sprintf("%v", ok),
 		})
 
-		// Server-side accounting must agree with the client's view.
+		// Server-side accounting must agree with the client's view. Every
+		// client retry was provoked by one server-side 429 (S1 never
+		// drains, so 503s cannot inflate the count), hence the sum.
 		st := srv.Statsz()
-		if int(st.Completed) != res.OK || int(st.Rejected) != res.Rejected {
+		if int(st.Completed) != res.OK || int(st.Rejected) != res.Rejected+res.Retries {
 			tab.Failed = true
 			tab.Notes = append(tab.Notes, fmt.Sprintf(
-				"%s: statsz disagrees with client: completed %d vs %d ok, rejected %d vs %d",
-				mode, st.Completed, res.OK, st.Rejected, res.Rejected))
+				"%s: statsz disagrees with client: completed %d vs %d ok, rejected %d vs %d final + %d retries",
+				mode, st.Completed, res.OK, st.Rejected, res.Rejected, res.Retries))
 		}
 	}
 
@@ -347,19 +420,23 @@ func S1(sc Scale) *Table {
 
 	// Open-loop overload: arrivals at 4000/s against a single solver
 	// worker and a depth-4 queue — far past capacity, so the bounded
-	// queue must shed load with 429 instead of collapsing.
+	// queue must shed load with 429 instead of collapsing. Shed arrivals
+	// honor Retry-After with jittered exponential backoff (capped to the
+	// run's timescale); sustained overload still exhausts retries, so the
+	// rejection regime survives.
 	openCfg := serve.Config{QueueDepth: 4, MaxBatch: 4, BatchWindow: time.Millisecond, Workers: 1}
+	openPol := RetryPolicy{Max: 2, Base: 2 * time.Millisecond, Cap: 8 * time.Millisecond, Seed: 11}
 	rowOpen := func(interval time.Duration, load string) {
 		row("open", load, openCfg,
 			func(url string, reqs []serve.SolveRequest) LoadResult {
-				return OpenLoopLoad(url, reqs, interval)
+				return OpenLoopLoadRetry(url, reqs, interval, openPol)
 			}, openReqs, true)
 	}
 	rowOpen(250*time.Microsecond, "4000/s")
 
 	tab.Notes = append(tab.Notes,
-		"closed-loop: c concurrent clients, next request on completion; open-loop: fixed arrival schedule, overflow answered 429 + Retry-After",
-		"'identical' asserts every served response bit-equal (weight, edges, rounds, messages, bits) to a standalone Solve of the same request, plus zero errors and the expected rejection regime; statsz counters must match the client's view",
-		"ok/rejected are load-dependent columns (excluded from exact-match drift); latency/throughput gate via -tolerance")
+		"closed-loop: c concurrent clients, next request on completion; open-loop: fixed arrival schedule, overflow answered 429 + Retry-After, retried with capped jittered exponential backoff",
+		"'identical' asserts every served response bit-equal (weight, edges, rounds, messages, bits) to a standalone Solve of the same request, plus zero errors and the expected rejection regime; statsz counters must match the client's view (server 429s = final rejections + provoked retries)",
+		"ok/rejected/retries are load-dependent columns (excluded from exact-match drift); latency/throughput gate via -tolerance")
 	return tab
 }

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsNoFault pins the production configuration: a nil
+// *Injector decides "no fault" everywhere without guarding.
+func TestNilInjectorIsNoFault(t *testing.T) {
+	var in *Injector
+	if act := in.Slot("x"); act.Stall != 0 || act.Panic {
+		t.Errorf("nil injector decided %+v, want no fault", act)
+	}
+	if h := in.Hooks(); h != nil {
+		t.Errorf("nil injector returned hooks %+v, want nil", h)
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Errorf("nil injector stats = %+v, want zero", st)
+	}
+}
+
+// TestSlotDecisionsDeterministic pins reproducibility: two injectors
+// with the same config take identical decision sequences, and a
+// different seed shifts the phase (so distinct storms hit distinct
+// slots) without changing the cadence.
+func TestSlotDecisionsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, StallEvery: 3, Stall: time.Millisecond, PanicEvery: 4}
+	a, b := New(cfg), New(cfg)
+	const n = 48
+	var seqA, seqB []SlotAction
+	for i := 0; i < n; i++ {
+		seqA = append(seqA, a.Slot("ins"))
+		seqB = append(seqB, b.Slot("ins"))
+	}
+	if !reflect.DeepEqual(seqA, seqB) {
+		t.Fatal("same config, different decision sequences")
+	}
+	stalls, panics := 0, 0
+	for _, act := range seqA {
+		if act.Stall > 0 {
+			stalls++
+		}
+		if act.Panic {
+			panics++
+		}
+	}
+	if stalls != n/cfg.StallEvery || panics != n/cfg.PanicEvery {
+		t.Errorf("cadence: %d stalls, %d panics over %d slots, want %d and %d",
+			stalls, panics, n, n/cfg.StallEvery, n/cfg.PanicEvery)
+	}
+	st := a.Stats()
+	if st.Slots != n || st.Stalls != int64(stalls) || st.Panics != int64(panics) {
+		t.Errorf("stats = %+v, want slots=%d stalls=%d panics=%d", st, n, stalls, panics)
+	}
+}
+
+// TestPanicTargetFilters pins the quarantine harness's poisoning: with
+// PanicTarget set, only slots solving that instance panic.
+func TestPanicTargetFilters(t *testing.T) {
+	in := New(Config{Seed: 3, PanicEvery: 1, PanicTarget: "poisoned"})
+	for i := 0; i < 8; i++ {
+		name := "healthy"
+		if i%2 == 0 {
+			name = "poisoned"
+		}
+		act := in.Slot(name)
+		if act.Panic != (name == "poisoned") {
+			t.Fatalf("slot %d (%s): panic=%v", i, name, act.Panic)
+		}
+	}
+	if st := in.Stats(); st.Panics != 4 {
+		t.Errorf("panics fired = %d, want 4", st.Panics)
+	}
+}
+
+// TestCancelDelaysDeterministicAndBounded pins the storm schedule: a
+// pure function of seed, every delay inside [min, max), and different
+// seeds giving different schedules.
+func TestCancelDelaysDeterministicAndBounded(t *testing.T) {
+	min, max := 200*time.Microsecond, 3*time.Millisecond
+	a := CancelDelays(11, 64, min, max)
+	b := CancelDelays(11, 64, min, max)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different schedules")
+	}
+	for i, d := range a {
+		if d < min || d >= max {
+			t.Fatalf("delay %d = %v outside [%v, %v)", i, d, min, max)
+		}
+	}
+	if reflect.DeepEqual(a, CancelDelays(12, 64, min, max)) {
+		t.Error("seeds 11 and 12 produced identical schedules")
+	}
+}
+
+// TestHooksSlowRounds pins the engine-side injector: the hook sleeps on
+// its cadence and counts what it delayed.
+func TestHooksSlowRounds(t *testing.T) {
+	in := New(Config{Seed: 5, SlowRoundEvery: 4, SlowRound: time.Microsecond})
+	h := in.Hooks()
+	if h == nil || h.Round == nil {
+		t.Fatal("configured injector returned no round hook")
+	}
+	for r := 0; r < 16; r++ {
+		h.Round(r)
+	}
+	if st := in.Stats(); st.SlowRounds != 4 {
+		t.Errorf("slow rounds = %d, want 4", st.SlowRounds)
+	}
+	if New(Config{Seed: 5}).Hooks() != nil {
+		t.Error("injector without slow rounds returned hooks; production specs must stay hook-free")
+	}
+}

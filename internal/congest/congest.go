@@ -54,6 +54,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"iter"
@@ -129,6 +130,14 @@ var ErrRoundLimit = errors.New("congest: round limit exceeded")
 // protocol that would otherwise spin silently into the round cap.
 var ErrAsleep = errors.New("congest: every live node is asleep with nothing to wake it")
 
+// ErrCancelled is returned when the run's context (WithContext) is
+// cancelled: the engine aborts cooperatively at the next round boundary,
+// under both the continuation and the legacy goroutine scheduler. The
+// returned error wraps both this sentinel and the context's own error,
+// so errors.Is matches either ErrCancelled or context.Canceled/
+// context.DeadlineExceeded.
+var ErrCancelled = errors.New("congest: run cancelled")
+
 type options struct {
 	bandwidth   int
 	maxRounds   int
@@ -139,6 +148,15 @@ type options struct {
 	goroutines  bool
 	noWindow    bool
 	pool        *ArenaPool
+	ctx         context.Context
+	ctxDone     <-chan struct{} // o.ctx.Done(), hoisted out of the round loop
+	hooks       *RunHooks
+}
+
+// cancelErr builds the abort error for a fired context: ErrCancelled
+// wrapping the context's cause, matchable via either sentinel.
+func cancelErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
 }
 
 // Option configures Run.
@@ -195,6 +213,40 @@ func WithWindowRelay(on bool) Option { return func(o *options) { o.noWindow = !o
 // (the scheduler stress and equivalence tests pin this); the goroutine
 // path remains as the compatibility shim and the A/B reference.
 func WithGoroutines(on bool) Option { return func(o *options) { o.goroutines = on } }
+
+// WithContext attaches a cancellation context to the run. The engine
+// checks it at every round boundary — including inside the bulk
+// window-relay and clock-jump paths — and aborts with ErrCancelled
+// (wrapping ctx's cause) when it fires, under both schedulers. A run
+// that is never cancelled is bit-identical to one without a context:
+// the check reads a channel non-blockingly and touches no engine state
+// (the equivalence suite pins this). Cancellation is cooperative at
+// round granularity: a node program blocked inside one round's work is
+// not preempted, exactly like the MaxRounds budget.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) {
+		if ctx != nil && ctx.Done() != nil {
+			o.ctx = ctx
+			o.ctxDone = ctx.Done()
+		}
+	}
+}
+
+// RunHooks are optional engine callbacks for tests and fault-injection
+// harnesses. Hooks run on the engine goroutine and must not touch engine
+// state; a nil hook (or nil RunHooks) costs nothing. Production paths
+// never set these.
+type RunHooks struct {
+	// Round is called once per processed round boundary with the round
+	// number about to be worked. A hook that sleeps simulates slow
+	// rounds; the context check still runs every boundary, so a
+	// cancelled run aborts at the next boundary regardless of hook
+	// delay.
+	Round func(round int)
+}
+
+// WithRunHooks attaches test-only engine callbacks (see RunHooks).
+func WithRunHooks(h *RunHooks) Option { return func(o *options) { o.hooks = h } }
 
 // DefaultBandwidth is the per-edge budget used when none is given:
 // 32 words of ceil(log2(n+1)) bits, a generous O(log n).
@@ -1036,6 +1088,19 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Stats, error) {
 	}
 
 	for e.live > 0 {
+		// Round-boundary abort: shared by both schedulers (the legacy
+		// transport reaches here once per round too). The nil-channel
+		// guard keeps context-free runs on the exact pre-context path.
+		if o.ctxDone != nil {
+			select {
+			case <-o.ctxDone:
+				return fail(cancelErr(o.ctx))
+			default:
+			}
+		}
+		if o.hooks != nil && o.hooks.Round != nil {
+			o.hooks.Round(stats.Rounds)
+		}
 		subsIn := e.collect(subCh)
 		exch := 0
 		for si := range subsIn {
@@ -1450,6 +1515,16 @@ func (e *engine) relayWindow() (int, error) {
 	for e.relPend > 0 {
 		if stats.Rounds >= e.o.maxRounds {
 			return done, fmt.Errorf("%w (%d)", ErrRoundLimit, e.o.maxRounds)
+		}
+		// The window drives many rounds without returning to the main
+		// loop, so the cancellation check must ride along: each internal
+		// round is a round boundary.
+		if e.o.ctxDone != nil {
+			select {
+			case <-e.o.ctxDone:
+				return done, cancelErr(e.o.ctx)
+			default:
+			}
 		}
 		// Scan pass: snapshot this round's forwards and check that every
 		// delivery lands cleanly on a parked stage. No engine state is

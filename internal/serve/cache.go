@@ -12,10 +12,11 @@ import (
 type flightOutcome int
 
 const (
-	flightSolved   flightOutcome = iota
-	flightError                  // solver error; propagated, never cached
-	flightRejected               // leader's admission hit a full queue (429)
-	flightDrained                // leader's admission hit a draining server (503)
+	flightSolved    flightOutcome = iota
+	flightError                   // solver error; propagated, never cached
+	flightRejected                // leader's admission hit a full queue (429)
+	flightDrained                 // leader's admission hit a draining server (503)
+	flightCancelled               // leader's run was cancelled or evicted; never cached
 )
 
 // flight is one in-progress solve all identical concurrent requests

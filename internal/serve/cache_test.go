@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"sync"
@@ -90,18 +91,18 @@ func TestSingleflightCollapse(t *testing.T) {
 	srv, ts := newTestServer(t, Config{
 		QueueDepth: 2, MaxBatch: 4, BatchWindow: -1, Workers: 1,
 	})
-	srv.solveBatch = func(ins []*steinerforest.Instance, specs []steinerforest.Spec, workers int) ([]*steinerforest.Result, error) {
+	srv.solveSlots = func(ins []*steinerforest.Instance, specs []steinerforest.Spec, ctxs []context.Context, workers int, run steinerforest.SlotFunc) ([]steinerforest.SlotResult, error) {
 		calls.Add(1)
 		slots.Add(int64(len(ins)))
 		<-release
-		results := make([]*steinerforest.Result, len(ins))
+		results := make([]steinerforest.SlotResult, len(ins))
 		for i := range ins {
-			results[i] = &steinerforest.Result{
+			results[i] = steinerforest.SlotResult{Res: &steinerforest.Result{
 				Solution:  steiner.NewSolution(ins[i].G),
 				Algorithm: specs[i].Algorithm,
 				Weight:    42,
 				Stats:     &steinerforest.Stats{Rounds: 7, Messages: 11, Bits: 13},
-			}
+			}}
 		}
 		return results, nil
 	}

@@ -148,7 +148,7 @@ func (s *Server) applyDemandUpdate(j *job) {
 			K: newIns.NumComponents(), Terminals: newIns.NumTerminals(),
 			Family: e.info.Family, Pairs: replay.Len(), Events: e.events + len(u.events),
 		},
-		ins: newIns, pool: e.pool,
+		ins: newIns, pool: e.pool, health: e.health,
 		demands: replay, standing: standing, events: e.events + len(u.events),
 	}
 	if !s.cfg.DisableCache {

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"slices"
@@ -129,13 +131,49 @@ type DemandUpdateResponse struct {
 // Error envelope codes. Every non-2xx response uses the same shape:
 // {"error":{"code","message","retry_after_s"}}.
 const (
-	codeBadRequest = "bad_request" // 400: malformed body, unknown knob, invalid event
-	codeNotFound   = "not_found"   // 404: no resident instance by that name
-	codeQueueFull  = "queue_full"  // 429: admission queue full; retry_after_s set
-	codeDraining   = "draining"    // 503: shutdown in progress
-	codeCancelled  = "cancelled"   // 503: client went away mid-request
-	codeInternal   = "internal"    // 500: solver or policy failure
+	codeBadRequest  = "bad_request"       // 400: malformed body, unknown knob, invalid event
+	codeNotFound    = "not_found"         // 404: no resident instance by that name
+	codeQueueFull   = "queue_full"        // 429: admission queue full; retry_after_s set
+	codeDraining    = "draining"          // 503: shutdown in progress
+	codeCancelled   = "cancelled"         // 503: cancelled (client gone, or force-abort at shutdown)
+	codeDeadline    = "deadline_exceeded" // 504: request deadline passed (header or -deadline default)
+	codeQuarantined = "quarantined"       // 503: instance quarantined after repeated solver panics
+	codeInternal    = "internal"          // 500: solver or policy failure (including recovered panics)
 )
+
+// deadlineHeader carries a per-request deadline in whole milliseconds,
+// overriding Config.DefaultDeadline. The clock starts at admission, so
+// queue wait counts against it.
+const deadlineHeader = "X-Request-Deadline-Ms"
+
+// errForceAbort is the cancellation cause ShutdownWithTimeout's
+// force-abort propagates into every in-flight request context.
+var errForceAbort = errors.New("serve: force-aborted at shutdown deadline")
+
+// requestCtx merges one request's lifecycle signals into a single
+// context: the client connection (r.Context()), the effective deadline
+// (deadlineHeader, else Config.DefaultDeadline; 0 = none), and the
+// server's force-abort. The returned cancel must be called when the
+// handler exits — which is itself the "client is gone" signal the
+// dispatcher's eviction and the engine's round-boundary abort observe.
+// A malformed header yields an error (the handler answers 400).
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	deadline := s.cfg.DefaultDeadline
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid %s %q (want a positive integer millisecond count)", deadlineHeader, h)
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancelCause := context.WithCancelCause(r.Context())
+	stopAbort := context.AfterFunc(s.abortCtx, func() { cancelCause(errForceAbort) })
+	if deadline > 0 {
+		dctx, dcancel := context.WithTimeout(ctx, deadline)
+		return dctx, func() { dcancel(); stopAbort(); cancelCause(nil) }, nil
+	}
+	return ctx, func() { stopAbort(); cancelCause(nil) }, nil
+}
 
 // ErrorDetail is the error envelope payload.
 type ErrorDetail struct {
@@ -271,6 +309,17 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, req SolveReq
 		writeError(w, http.StatusServiceUnavailable, codeDraining, "server draining")
 		return
 	}
+	if e.health != nil && e.health.quarantined.Load() {
+		writeError(w, http.StatusServiceUnavailable, codeQuarantined,
+			"instance %q quarantined after repeated solver panics", req.Instance)
+		return
+	}
+	ctx, cancel, cerr := s.requestCtx(r)
+	if cerr != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", cerr)
+		return
+	}
+	defer cancel()
 
 	var fl *flight
 	if e.cache != nil {
@@ -283,9 +332,11 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, req SolveReq
 			return
 		case !leader:
 			// Collapse onto the identical in-flight miss: wait for its
-			// leader to resolve the flight, consuming no queue depth.
+			// leader to resolve the flight, consuming no queue depth. The
+			// follower waits on its own merged ctx, so its cancellation or
+			// deadline detaches it without touching the leader's run.
 			s.metrics.incCollapsed()
-			s.waitFlight(w, r, req.Instance, found, start)
+			s.waitFlight(w, ctx, req.Instance, found, start)
 			return
 		default:
 			s.metrics.incMiss()
@@ -301,6 +352,8 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, req SolveReq
 		key:      batchKey{algorithm: canon.Algorithm, noCert: canon.NoCertificate, parallelism: canon.Parallelism},
 		admitted: start,
 		done:     make(chan jobResult, 1),
+		ctx:      ctx,
+		entry:    e,
 	}
 	if fl != nil {
 		j.cache, j.cacheKey, j.flight = e.cache, canon, fl
@@ -323,15 +376,50 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, req SolveReq
 	select {
 	case out := <-j.done:
 		if out.err != nil {
-			writeError(w, http.StatusInternalServerError, codeInternal, "%v", out.err)
+			s.writeSolveError(w, out.err)
 			return
 		}
 		s.writeSolveResult(w, req.Instance, out.res, out.batch, false, start)
-	case <-r.Context().Done():
-		// Client gone; the buffered done channel lets the dispatcher
-		// finish the slot (and resolve the flight) without blocking.
-		writeError(w, http.StatusServiceUnavailable, codeCancelled, "client cancelled")
+	case <-ctx.Done():
+		// Request over (client gone, deadline, or force-abort). The
+		// deferred cancel propagates into j.ctx, so the dispatcher evicts
+		// the job if it is still queued, or the engine aborts the run at
+		// its next round boundary; the buffered done channel lets the
+		// dispatcher finish the slot (and resolve the flight) either way.
+		s.writeCtxError(w, ctx)
 	}
+}
+
+// writeSolveError maps a dispatcher-reported solve error onto the
+// envelope: quarantine and cancellation are service conditions (503/504),
+// everything else — including recovered solver panics — is a 500.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQuarantined):
+		writeError(w, http.StatusServiceUnavailable, codeQuarantined, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.incDeadline()
+		writeError(w, http.StatusGatewayTimeout, codeDeadline, "%v", err)
+	case errIsCancel(err):
+		s.metrics.incCancelled()
+		writeError(w, http.StatusServiceUnavailable, codeCancelled, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+	}
+}
+
+// writeCtxError answers a request whose own context fired while it
+// waited, split by cause: a deadline is 504 deadline_exceeded, anything
+// else (client disconnect, shutdown force-abort) is 503 cancelled.
+func (s *Server) writeCtxError(w http.ResponseWriter, ctx context.Context) {
+	cause := context.Cause(ctx)
+	if errors.Is(cause, context.DeadlineExceeded) {
+		s.metrics.incDeadline()
+		writeError(w, http.StatusGatewayTimeout, codeDeadline, "request deadline exceeded")
+		return
+	}
+	s.metrics.incCancelled()
+	writeError(w, http.StatusServiceUnavailable, codeCancelled, "request cancelled: %v", cause)
 }
 
 // handleDemands serves POST /v1/instances/{name}/demands: the event
@@ -420,21 +508,23 @@ func (s *Server) handleDemands(w http.ResponseWriter, r *http.Request) {
 // waitFlight answers a collapsed follower once its leader's flight
 // resolves, mirroring whatever outcome the leader got — including 429/503
 // when the leader's admission was refused (the follower arrived during
-// the same overload and never held queue depth of its own).
-func (s *Server) waitFlight(w http.ResponseWriter, r *http.Request, instance string, fl *flight, start time.Time) {
+// the same overload and never held queue depth of its own). The follower
+// waits under its own merged context: if that fires first it detaches
+// with 503/504 and the leader's run is untouched.
+func (s *Server) waitFlight(w http.ResponseWriter, ctx context.Context, instance string, fl *flight, start time.Time) {
 	select {
 	case <-fl.done:
-	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, codeCancelled, "client cancelled")
+	case <-ctx.Done():
+		s.writeCtxError(w, ctx)
 		return
 	}
 	switch fl.outcome {
 	case flightSolved:
 		s.metrics.recordDone(time.Since(start), false)
 		s.writeSolveResult(w, instance, fl.res, fl.batch, false, start)
-	case flightError:
+	case flightError, flightCancelled:
 		s.metrics.recordDone(time.Since(start), true)
-		writeError(w, http.StatusInternalServerError, codeInternal, "%v", fl.err)
+		s.writeSolveError(w, fl.err)
 	case flightRejected:
 		s.metrics.incRejected()
 		s.writeRejected(w)

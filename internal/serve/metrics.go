@@ -31,6 +31,21 @@ type Stats struct {
 	CacheBytes     int64  `json:"cache_bytes"`
 	CacheEntries   int    `json:"cache_entries"`
 
+	// Request-lifecycle robustness: cancellations observed at response
+	// time (client gone or force-abort), deadline misses, queue evictions
+	// (jobs dropped before batching because their context had already
+	// fired), recovered solver panics, and quarantined instances (gauge,
+	// filled by Statsz). SolveNs/WastedSolveNs split wall-clock solver
+	// time by whether anyone could still use the answer — the R1 table's
+	// wasted-work measure.
+	Cancelled        uint64 `json:"cancelled"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	Evicted          uint64 `json:"evicted"`
+	SolverPanics     uint64 `json:"solver_panics"`
+	Quarantined      int    `json:"quarantined"`
+	SolveNs          int64  `json:"solve_ns"`
+	WastedSolveNs    int64  `json:"wasted_solve_ns"`
+
 	// Demand updates: applied update requests and the timeline events
 	// they carried. Counted apart from Completed, which stays the
 	// client-observed solve-OK count the load harness asserts on.
@@ -81,6 +96,13 @@ type metrics struct {
 	cacheMisses atomic.Uint64
 	collapsed   atomic.Uint64
 
+	cancelled        atomic.Uint64
+	deadlineExceeded atomic.Uint64
+	evicted          atomic.Uint64
+	solverPanics     atomic.Uint64
+	solveNs          atomic.Int64
+	wastedSolveNs    atomic.Int64
+
 	demandUpdates atomic.Uint64
 	demandEvents  atomic.Uint64
 
@@ -112,6 +134,12 @@ func (m *metrics) reset() {
 	m.cacheHits.Store(0)
 	m.cacheMisses.Store(0)
 	m.collapsed.Store(0)
+	m.cancelled.Store(0)
+	m.deadlineExceeded.Store(0)
+	m.evicted.Store(0)
+	m.solverPanics.Store(0)
+	m.solveNs.Store(0)
+	m.wastedSolveNs.Store(0)
 	m.demandUpdates.Store(0)
 	m.demandEvents.Store(0)
 	m.batches.Store(0)
@@ -130,6 +158,21 @@ func (m *metrics) incDrained()   { m.drained.Add(1) }
 func (m *metrics) incHit()       { m.cacheHits.Add(1) }
 func (m *metrics) incMiss()      { m.cacheMisses.Add(1) }
 func (m *metrics) incCollapsed() { m.collapsed.Add(1) }
+func (m *metrics) incCancelled() { m.cancelled.Add(1) }
+func (m *metrics) incDeadline()  { m.deadlineExceeded.Add(1) }
+func (m *metrics) incEvicted()   { m.evicted.Add(1) }
+func (m *metrics) incPanic()     { m.solverPanics.Add(1) }
+
+// addSolveNs attributes one slot's wall-clock solver time: wasted when
+// the requester was already gone (cancelled/aborted runs and completed
+// runs nobody waited for), useful otherwise.
+func (m *metrics) addSolveNs(ns int64, wasted bool) {
+	if wasted {
+		m.wastedSolveNs.Add(ns)
+		return
+	}
+	m.solveNs.Add(ns)
+}
 
 func (m *metrics) incDemandUpdate(events int) {
 	m.demandUpdates.Add(1)
@@ -201,6 +244,9 @@ func (m *metrics) snapshot(queueDepth, inFlight int) Stats {
 		Accepted: m.accepted.Load(), Rejected: m.rejected.Load(), Drained: m.drained.Load(),
 		Completed: completed, Errors: m.errors.Load(),
 		CacheHits: m.cacheHits.Load(), CacheMisses: m.cacheMisses.Load(), Collapsed: m.collapsed.Load(),
+		Cancelled: m.cancelled.Load(), DeadlineExceeded: m.deadlineExceeded.Load(),
+		Evicted: m.evicted.Load(), SolverPanics: m.solverPanics.Load(),
+		SolveNs: m.solveNs.Load(), WastedSolveNs: m.wastedSolveNs.Load(),
 		DemandUpdates: m.demandUpdates.Load(), DemandEvents: m.demandEvents.Load(),
 		QueueDepth: queueDepth, InFlight: inFlight,
 		Batches: batches, BatchedReqs: batchedReqs, MaxBatchLen: int(m.maxBatchLen.Load()),

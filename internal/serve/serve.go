@@ -14,13 +14,16 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	steinerforest "steinerforest"
+	"steinerforest/internal/chaos"
 	"steinerforest/internal/congest"
 	"steinerforest/internal/steiner"
 	"steinerforest/internal/workload"
@@ -68,6 +71,33 @@ type Config struct {
 	// (default "full"; parsed by the shared steinerforest.ParsePolicy,
 	// so "repair" and "every-k:<k>" work here exactly as on the CLIs).
 	Policy string
+
+	// DefaultDeadline bounds every solve request that does not carry its
+	// own X-Request-Deadline-Ms header (0 = no server-side deadline). A
+	// request past its deadline is evicted from the queue before
+	// batching, or aborted at the solver's next round boundary, and
+	// answered 504 deadline_exceeded.
+	DefaultDeadline time.Duration
+
+	// QuarantineAfter is how many consecutive solver panics on one
+	// resident instance flip it to quarantined (refusing further solves
+	// with 503 quarantined instead of risking the dispatcher). Default 3;
+	// negative disables quarantining. A successful solve resets the
+	// streak; quarantine survives demand-update entry swaps.
+	QuarantineAfter int
+
+	// DisableCancellation severs request contexts from the solver path:
+	// no queue eviction, no round-boundary aborts — every admitted
+	// request is solved to completion exactly as before this layer
+	// existed. Bench-only (the R1 table's wasted-work A/B); production
+	// configs leave it false.
+	DisableCancellation bool
+
+	// Chaos, when non-nil, injects deterministic faults (solver stalls,
+	// panics at the batch-slot boundary, slow engine rounds) into every
+	// dispatch — the test-only hook behind the chaos harness and
+	// `dsfserve -chaos-smoke`. Production configs leave it nil.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.Policy == "" {
 		c.Policy = "full"
 	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
 	return c
 }
 
@@ -107,6 +140,16 @@ type InstanceInfo struct {
 	Events    int    `json:"events,omitempty"` // demand-update events absorbed so far
 }
 
+// instanceHealth tracks panic quarantining for one resident instance.
+// It is shared by pointer across demand-update entry swaps (like the
+// arena pool), so a poisoned instance stays quarantined through updates.
+// streak is only touched from the dispatcher goroutine; quarantined is
+// atomic because handlers read it without the dispatcher's cadence.
+type instanceHealth struct {
+	quarantined atomic.Bool
+	streak      int // consecutive solver panics (dispatcher-only)
+}
+
 // entry is one resident instance. Demand updates never mutate an entry
 // in place: the dispatcher builds a replacement (new cumulative
 // instance, fresh result cache, same warm arena pool) and swaps the map
@@ -114,10 +157,11 @@ type InstanceInfo struct {
 // or the complete new one — and a singleflight completing late inserts
 // into the orphaned old cache, where no future lookup can find it.
 type entry struct {
-	info  InstanceInfo
-	ins   *steiner.Instance
-	cache *solveCache        // nil when Config.DisableCache
-	pool  *congest.ArenaPool // warm engine arenas for this instance's CSR shape
+	info   InstanceInfo
+	ins    *steiner.Instance
+	cache  *solveCache        // nil when Config.DisableCache
+	pool   *congest.ArenaPool // warm engine arenas for this instance's CSR shape
+	health *instanceHealth    // panic-quarantine state, shared across swaps
 
 	// demands is the live pair multiset the instance's labels encode;
 	// standing is the policy-maintained forest (nil until the first
@@ -157,9 +201,15 @@ type Server struct {
 	policy    steinerforest.Policy
 	policyErr error
 
-	// solveBatch is the dispatch function; tests swap it to control
+	// abortCtx is cancelled by ShutdownWithTimeout when the drain
+	// deadline expires: every in-flight solve merged onto it aborts at
+	// its next round boundary instead of holding the process open.
+	abortCtx    context.Context
+	abortCancel context.CancelFunc
+
+	// solveSlots is the dispatch function; tests swap it to control
 	// batch timing without a real solver run.
-	solveBatch func(ins []*steinerforest.Instance, specs []steinerforest.Spec, workers int) ([]*steinerforest.Result, error)
+	solveSlots func(ins []*steinerforest.Instance, specs []steinerforest.Spec, ctxs []context.Context, workers int, run steinerforest.SlotFunc) ([]steinerforest.SlotResult, error)
 }
 
 // New returns a started Server (its dispatcher is running; requests can
@@ -170,8 +220,9 @@ func New(cfg Config) *Server {
 		metrics:    newMetrics(),
 		stop:       make(chan struct{}),
 		instances:  make(map[string]*entry),
-		solveBatch: steinerforest.SolveBatchSpecs,
+		solveSlots: steinerforest.SolveBatchSlots,
 	}
+	s.abortCtx, s.abortCancel = context.WithCancel(context.Background())
 	s.policy, s.policyErr = steinerforest.ParsePolicy(s.cfg.Policy)
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	s.batcher.Add(1)
@@ -199,7 +250,7 @@ func (s *Server) RegisterInstance(name string, ins *steiner.Instance, family str
 		K: ins.NumComponents(), Terminals: ins.NumTerminals(), Family: family,
 		Pairs: demands.Len(),
 	}
-	e := &entry{info: info, ins: ins, pool: congest.NewArenaPool(), demands: demands}
+	e := &entry{info: info, ins: ins, pool: congest.NewArenaPool(), demands: demands, health: &instanceHealth{}}
 	if !s.cfg.DisableCache {
 		e.cache = newSolveCache(s.cfg.CacheBytes)
 	}
@@ -259,6 +310,9 @@ func (s *Server) Statsz() Stats {
 	s.instMu.RLock()
 	var warm, cold congest.ArenaPoolStats
 	for _, e := range s.instances {
+		if e.health != nil && e.health.quarantined.Load() {
+			st.Quarantined++
+		}
 		if e.cache != nil {
 			bytes, entries, evictions := e.cache.usage()
 			st.CacheBytes += bytes
@@ -298,6 +352,40 @@ func (s *Server) Draining() bool {
 // is idempotent; concurrent handlers that already admitted their request
 // receive their response before Shutdown returns.
 func (s *Server) Shutdown() {
+	s.beginDrain()
+	s.batcher.Wait()
+}
+
+// ShutdownWithTimeout is Shutdown with a drain budget: it stops
+// admission, then waits up to timeout for admitted requests to finish
+// naturally. If the dispatcher is still busy when the budget expires,
+// every in-flight solve is force-aborted (the abort context merged into
+// each request fires; runs stop at their next simulated round boundary
+// and answer 503 cancelled) and the drain completes. timeout <= 0
+// force-aborts immediately. Idempotent, like Shutdown.
+func (s *Server) ShutdownWithTimeout(timeout time.Duration) {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.batcher.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case <-done:
+			return
+		case <-timer.C:
+		}
+	}
+	s.abortCancel()
+	<-done
+}
+
+// beginDrain flips the draining flag and stops the dispatcher's linger
+// (idempotent). After it returns, no new job can reach the queue.
+func (s *Server) beginDrain() {
 	s.admitMu.Lock()
 	already := s.draining
 	s.draining = true
@@ -307,5 +395,4 @@ func (s *Server) Shutdown() {
 		// inside check-then-enqueue: everything in the queue is final.
 		close(s.stop)
 	}
-	s.batcher.Wait()
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -81,15 +82,15 @@ func TestOverflowReturns429WithoutBlocking(t *testing.T) {
 	// Stall the solver so the first request occupies the dispatcher and
 	// the second stays queued. Fabricated results keep the handler path
 	// (response encoding) realistic without a real solve.
-	srv.solveBatch = func(ins []*steinerforest.Instance, specs []steinerforest.Spec, workers int) ([]*steinerforest.Result, error) {
+	srv.solveSlots = func(ins []*steinerforest.Instance, specs []steinerforest.Spec, ctxs []context.Context, workers int, run steinerforest.SlotFunc) ([]steinerforest.SlotResult, error) {
 		started <- struct{}{}
 		<-release
-		results := make([]*steinerforest.Result, len(ins))
+		results := make([]steinerforest.SlotResult, len(ins))
 		for i := range ins {
-			results[i] = &steinerforest.Result{
+			results[i] = steinerforest.SlotResult{Res: &steinerforest.Result{
 				Solution:  steiner.NewSolution(ins[i].G),
 				Algorithm: specs[i].Algorithm,
-			}
+			}}
 		}
 		return results, nil
 	}

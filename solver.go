@@ -1,6 +1,7 @@
 package steinerforest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -86,6 +87,14 @@ type Spec struct {
 	// this), so Canonical treats the field as result-neutral. The pointer
 	// keeps Spec comparable.
 	Arena *congest.ArenaPool
+
+	// Hooks, when non-nil, attaches test-only engine callbacks to the
+	// simulated runs (see congest.RunHooks) — the chaos harness's
+	// slow-round injection point. Hooks must be observation-neutral (they
+	// may delay wall-clock time, never change what the engine computes),
+	// so Canonical folds the field out like Arena. The pointer keeps Spec
+	// comparable. Production specs leave it nil.
+	Hooks *congest.RunHooks
 }
 
 // Validate rejects Spec values no solver can act on, with errors precise
@@ -169,12 +178,23 @@ func (s Spec) Canonical() Spec {
 	c.NoWindowRelay = false
 	c.LegacyScheduler = false
 	c.Arena = nil
+	c.Hooks = nil
 	return c
 }
 
-// options translates the Spec into simulator options.
-func (s Spec) options() []congest.Option {
+// options translates the Spec into simulator options. A context with a
+// live Done channel rides along as congest.WithContext, giving every
+// simulated run a round-boundary abort; context.Background() (and any
+// other Done()==nil context) adds no option at all, so ctx-free callers
+// run the exact pre-cancellation engine path.
+func (s Spec) options(ctx context.Context) []congest.Option {
 	var opts []congest.Option
+	if ctx != nil && ctx.Done() != nil {
+		opts = append(opts, congest.WithContext(ctx))
+	}
+	if s.Hooks != nil {
+		opts = append(opts, congest.WithRunHooks(s.Hooks))
+	}
 	if s.Seed != 0 {
 		opts = append(opts, congest.WithSeed(s.Seed))
 	}
@@ -207,8 +227,13 @@ func (s Spec) options() []congest.Option {
 
 // SolverFunc runs one algorithm on an instance. Implementations fill the
 // Result's Solution, Weight, Stats and algorithm-specific counters; Solve
-// adds the dual certificate afterwards unless the Spec opts out.
-type SolverFunc func(ins *Instance, spec Spec) (*Result, error)
+// adds the dual certificate afterwards unless the Spec opts out. The
+// context carries request-lifecycle cancellation: implementations that
+// simulate should thread it into congest.Run (spec.options does this),
+// and must return an error wrapping ctx.Err() — not a partial result —
+// when it fires. Implementations that ignore ctx remain correct, just
+// non-cancellable.
+type SolverFunc func(ctx context.Context, ins *Instance, spec Spec) (*Result, error)
 
 var registry = struct {
 	sync.RWMutex
@@ -244,10 +269,28 @@ func Algorithms() []string {
 
 // Solve runs the solver selected by spec.Algorithm on ins and returns the
 // result, including the certified lower bound on OPT unless
-// spec.NoCertificate is set.
+// spec.NoCertificate is set. It is SolveCtx with a background context —
+// non-cancellable, bit-identical to the pre-context behavior.
 func Solve(ins *Instance, spec Spec) (*Result, error) {
+	return SolveCtx(context.Background(), ins, spec)
+}
+
+// SolveCtx is Solve with request-lifecycle cancellation: the context is
+// threaded into the solver run (round-boundary aborts in the simulator;
+// see congest.WithContext) and checked between the solver and the
+// certificate oracle, so a cancelled call stops consuming CPU within one
+// simulated round and returns an error wrapping ctx's cause. A context
+// that never fires is result-neutral: the run is bit-identical to
+// Solve's (the equivalence suite pins this).
+func SolveCtx(ctx context.Context, ins *Instance, spec Spec) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		// Wrap the engine sentinel too, so callers can match cancelled
+		// solves uniformly no matter how early the context fired.
+		return nil, fmt.Errorf("steinerforest: solve not started: %w: %w",
+			congest.ErrCancelled, context.Cause(ctx))
 	}
 	name := spec.Algorithm
 	if name == "" {
@@ -259,12 +302,18 @@ func Solve(ins *Instance, spec Spec) (*Result, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("steinerforest: unknown algorithm %q (registered: %v)", name, Algorithms())
 	}
-	res, err := fn(ins, spec)
+	res, err := fn(ctx, ins, spec)
 	if err != nil {
 		return nil, err
 	}
 	res.Algorithm = name
 	if !spec.NoCertificate && !res.Certified {
+		// The oracle is centralized (no simulated rounds to abort at), so
+		// the boundary before it is the last cancellation point.
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("steinerforest: certificate skipped: %w: %w",
+				congest.ErrCancelled, context.Cause(ctx))
+		}
 		oracle, err := moat.SolveAKR(ins)
 		if err != nil {
 			return nil, err
@@ -282,20 +331,20 @@ func mustRegister(name string, fn SolverFunc) {
 }
 
 func init() {
-	mustRegister("det", func(ins *Instance, spec Spec) (*Result, error) {
-		r, err := detforest.Solve(ins, spec.options()...)
+	mustRegister("det", func(ctx context.Context, ins *Instance, spec Spec) (*Result, error) {
+		r, err := detforest.Solve(ins, spec.options(ctx)...)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Solution: r.Solution, Weight: r.Solution.Weight(ins.G),
 			Stats: r.Stats, Phases: r.Phases, Merges: r.Merges}, nil
 	})
-	mustRegister("rounded", func(ins *Instance, spec Spec) (*Result, error) {
+	mustRegister("rounded", func(ctx context.Context, ins *Instance, spec Spec) (*Result, error) {
 		num, den := spec.EpsNum, spec.EpsDen
 		if num == 0 && den == 0 {
 			num, den = 1, 2
 		}
-		r, err := detforest.SolveRounded(ins, num, den, spec.options()...)
+		r, err := detforest.SolveRounded(ins, num, den, spec.options(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -303,12 +352,12 @@ func init() {
 			Stats: r.Stats, Phases: r.Phases, Merges: r.Merges}, nil
 	})
 	randomized := func(mode randforest.Mode) SolverFunc {
-		return func(ins *Instance, spec Spec) (*Result, error) {
+		return func(ctx context.Context, ins *Instance, spec Spec) (*Result, error) {
 			m := mode
 			if m == randforest.ModeFull && spec.Truncate {
 				m = randforest.ModeTruncated
 			}
-			r, err := randforest.Solve(ins, m, spec.options()...)
+			r, err := randforest.Solve(ins, m, spec.options(ctx)...)
 			if err != nil {
 				return nil, err
 			}
@@ -319,7 +368,7 @@ func init() {
 	mustRegister("rand", randomized(randforest.ModeFull))
 	mustRegister("trunc", randomized(randforest.ModeTruncated))
 	mustRegister("khan", randomized(randforest.ModeKhanBaseline))
-	mustRegister("central", func(ins *Instance, spec Spec) (*Result, error) {
+	mustRegister("central", func(ctx context.Context, ins *Instance, spec Spec) (*Result, error) {
 		r, err := moat.SolveAKR(ins)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package steinerforest_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -41,9 +42,9 @@ func TestUnknownAlgorithmRejected(t *testing.T) {
 
 func TestRegisterCustomSolver(t *testing.T) {
 	called := false
-	err := steinerforest.Register("custom-test", func(ins *steinerforest.Instance, spec steinerforest.Spec) (*steinerforest.Result, error) {
+	err := steinerforest.Register("custom-test", func(ctx context.Context, ins *steinerforest.Instance, spec steinerforest.Spec) (*steinerforest.Result, error) {
 		called = true
-		return steinerforest.Solve(ins, steinerforest.Spec{Algorithm: "central", NoCertificate: spec.NoCertificate})
+		return steinerforest.SolveCtx(ctx, ins, steinerforest.Spec{Algorithm: "central", NoCertificate: spec.NoCertificate})
 	})
 	if err != nil {
 		t.Fatal(err)
